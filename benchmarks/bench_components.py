@@ -1,0 +1,62 @@
+"""Micro-benchmarks for the individual pipeline components.
+
+Not a paper table — engineering visibility: how the analysis cost
+decomposes (bit-value fix point, coalescing fix point, simulator
+throughput, compilation) on the largest benchmark (AES).
+"""
+
+import pytest
+
+from repro.bec.coalesce import coalesce
+from repro.bec.sites import FaultSpace
+from repro.bitvalue.analysis import compute_bit_values
+from repro.ir.defuse import compute_use_chains
+from repro.ir.liveness import compute_liveness
+from repro.minic.compiler import compile_source
+from repro.bench import aes
+
+
+def test_compile_aes(benchmark):
+    benchmark.pedantic(lambda: compile_source(aes.SOURCE), rounds=3,
+                       iterations=1)
+
+
+def test_liveness_aes(benchmark, prepared):
+    run = prepared("AES")
+    benchmark(compute_liveness, run.function)
+
+
+def test_use_chains_aes(benchmark, prepared):
+    run = prepared("AES")
+    benchmark(compute_use_chains, run.function)
+
+
+def test_bit_values_aes(benchmark, prepared):
+    run = prepared("AES")
+    benchmark(compute_bit_values, run.function)
+
+
+def test_coalescing_aes(benchmark, prepared):
+    run = prepared("AES")
+    bit_values = compute_bit_values(run.function)
+    use_chains = compute_use_chains(run.function)
+    fault_space = FaultSpace(run.function)
+
+    def run_coalescing():
+        return coalesce(run.function, bit_values, use_chains,
+                        fault_space=FaultSpace(
+                            run.function, liveness=fault_space.liveness))
+
+    result = benchmark.pedantic(run_coalescing, rounds=3, iterations=1)
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("name", ["AES", "CRC32"])
+def test_simulator_throughput(benchmark, prepared, name):
+    run = prepared(name)
+
+    def simulate():
+        return run.machine.run(regs=run.regs)
+
+    trace = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = trace.cycles

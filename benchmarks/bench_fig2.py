@@ -1,0 +1,22 @@
+"""Fig. 2 benchmark: the motivating example, end to end.
+
+Asserts every number the paper derives from ``countYears`` while timing
+the complete pipeline (analysis, accounting, automatic rescheduling).
+"""
+
+from repro.experiments.fig2 import run_experiment
+
+
+def test_fig2_numbers(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=3, iterations=1)
+    benchmark.extra_info.update({
+        "value_level_runs": result["value_level_runs"],
+        "bit_level_runs": result["bit_level_runs"],
+        "live_fault_sites": result["live_fault_sites"],
+        "scheduled_sites": result["auto_scheduled_sites"],
+    })
+    assert result["value_level_runs"] == 288
+    assert result["bit_level_runs"] == 225
+    assert result["live_fault_sites"] == 681
+    assert result["hand_scheduled_sites"] == 576
+    assert result["auto_scheduled_sites"] == 576

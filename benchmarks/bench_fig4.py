@@ -1,0 +1,10 @@
+"""Fig. 4 benchmark: the coalescing walkthrough."""
+
+from repro.experiments.fig4 import run_experiment
+
+
+def test_fig4_walkthrough(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=5, iterations=1)
+    assert all(result["checks"].values())
+    benchmark.extra_info["checks"] = {
+        name: "PASS" for name in result["checks"]}

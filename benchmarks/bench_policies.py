@@ -1,0 +1,27 @@
+"""Bench for the related-work policy comparison (extension experiment).
+
+Regenerates the §VII-C claim that BEC-augmented scheduling is
+comparable to established value-level methods: for each benchmark the
+fault surface is measured under the paper's bit-level policy and the
+two value-level related-work policies.
+"""
+
+import pytest
+
+from repro.experiments import policy_comparison
+from repro.sched.policies import BestReliability, WorstReliability
+from repro.sched.related import LiveIntervalMinimizing
+
+
+@pytest.mark.parametrize("name", ["bitcount", "adpcm_dec", "AES"])
+def test_policy_comparison(benchmark, name):
+    row = benchmark.pedantic(policy_comparison.run_benchmark,
+                             args=(name,), rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "bit_level_surface": row[BestReliability.name],
+        "value_level_surface": row[LiveIntervalMinimizing.name],
+        "bit_vs_value_percent": round(row["bit_vs_value_percent"], 2),
+    })
+    # Both reliability-aware policies must beat the adversarial worst.
+    assert row[BestReliability.name] <= row[WorstReliability.name]
+    assert row[LiveIntervalMinimizing.name] <= row[WorstReliability.name]

@@ -1,0 +1,73 @@
+"""Bench for the statistical-campaign extension.
+
+Measures how many simulator runs a fixed-budget AVF estimate needs with
+and without BEC outcome collapsing.  The collapsed estimator reuses one
+run per coalesced class epoch, so its run count mirrors the Table III
+pruning rates — this bench ties the sampling module back to the paper's
+headline numbers.
+"""
+
+import pytest
+
+from repro.bec.analysis import run_bec
+from repro.fi.machine import Machine
+from repro.fi.sampling import estimate_avf
+from repro.ir.parser import parse_function
+
+PROGRAM = """
+func f width=16 params=x
+bb.entry:
+    li acc, 0
+    li rounds, 12
+bb.loop:
+    andi low, x, 255
+    xor acc, acc, low
+    srli x, x, 3
+    addi rounds, rounds, -1
+    bnez rounds, bb.loop
+bb.exit:
+    out acc
+    ret acc
+"""
+
+BUDGET = 400
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    function = parse_function(PROGRAM)
+    machine = Machine(function)
+    regs = {"x": 0xBEEF}
+    golden = machine.run(regs=regs)
+    return function, machine, regs, golden
+
+
+def test_uniform_sampling(benchmark, prepared):
+    function, machine, regs, golden = prepared
+    estimate = benchmark.pedantic(
+        estimate_avf, args=(machine, function, golden, BUDGET),
+        kwargs={"seed": 1, "regs": regs, "golden": golden},
+        rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "avf": round(estimate.avf, 4),
+        "simulator_runs": estimate.simulator_runs,
+    })
+    assert estimate.simulator_runs <= BUDGET
+
+
+def test_bec_collapsed_sampling(benchmark, prepared):
+    function, machine, regs, golden = prepared
+    bec = run_bec(function)
+    uniform = estimate_avf(machine, function, golden, BUDGET, seed=1,
+                           regs=regs, golden=golden)
+    estimate = benchmark.pedantic(
+        estimate_avf, args=(machine, function, golden, BUDGET),
+        kwargs={"seed": 1, "regs": regs, "golden": golden, "bec": bec},
+        rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "avf": round(estimate.avf, 4),
+        "simulator_runs": estimate.simulator_runs,
+        "uniform_simulator_runs": uniform.simulator_runs,
+    })
+    # Collapsing must save simulator runs relative to uniform sampling.
+    assert estimate.simulator_runs < uniform.simulator_runs

@@ -1,0 +1,33 @@
+"""Table II benchmark: soundness validation by exhaustive injection.
+
+Times the validation harness (one injection per window-bit instance of
+a trace prefix) and asserts the paper's headline: zero unsound cases.
+"""
+
+import pytest
+
+from repro.bec.analysis import run_bec
+from repro.fi.validate import validate_bec
+
+VALIDATION = (("RSA", 80), ("adpcm_enc", 80), ("bitcount", 50))
+
+
+@pytest.mark.parametrize("name,cycle_limit", VALIDATION,
+                         ids=[name for name, _ in VALIDATION])
+def test_table2_row(benchmark, prepared, name, cycle_limit):
+    run = prepared(name)
+    bec = run_bec(run.function)
+
+    def validate():
+        return validate_bec(run.function, run.machine, bec,
+                            regs=run.regs, golden=run.golden,
+                            cycle_limit=cycle_limit)
+
+    report = benchmark.pedantic(validate, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "fi_runs": report.runs,
+        "equivalence_groups": report.equivalence_groups,
+        "imprecise_pairs": report.imprecise_pairs,
+    })
+    assert report.unsound_masked == 0
+    assert report.unsound_equivalences == 0

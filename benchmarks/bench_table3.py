@@ -1,0 +1,37 @@
+"""Table III benchmark: BEC analysis + fault-injection accounting per
+evaluation benchmark.
+
+Regenerates the paper's Table III rows (Live in values / Live in bits /
+Masked / Inferrable / % pruned) and measures how long the full static
+analysis plus trace accounting takes — the cost that replaces hours of
+fault injection (paper Table I vs Table III).
+"""
+
+import pytest
+
+from repro.bec.analysis import run_bec
+from repro.fi.accounting import fault_injection_accounting
+from repro.bench.programs import BENCHMARK_ORDER
+from repro.experiments.table3 import PAPER_PRUNED_PERCENT
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_table3_row(benchmark, prepared, name):
+    run = prepared(name)
+
+    def analyze_and_account():
+        bec = run_bec(run.function)
+        return fault_injection_accounting(run.function, run.golden, bec)
+
+    accounting = benchmark.pedantic(analyze_and_account, rounds=3,
+                                    iterations=1)
+    benchmark.extra_info.update({
+        "live_in_values": accounting["live_in_values"],
+        "live_in_bits": accounting["live_in_bits"],
+        "masked_bits": accounting["masked_bits"],
+        "inferrable_bits": accounting["inferrable_bits"],
+        "pruned_percent": round(accounting["pruned_percent"], 2),
+        "paper_pruned_percent": PAPER_PRUNED_PERCENT[name],
+    })
+    assert accounting["live_in_bits"] <= accounting["live_in_values"]
+    assert accounting["pruned_percent"] > 0

@@ -1,0 +1,26 @@
+"""Table IV benchmark: vulnerability-aware instruction scheduling.
+
+Measures the full best-vs-worst scheduling experiment per benchmark
+(schedule, re-analyze, re-simulate, compute the fault surface) and
+records the Table IV row in ``extra_info``.
+"""
+
+import pytest
+
+from repro.bench.programs import BENCHMARK_ORDER
+from repro.experiments.table4 import PAPER_WORST_OVER_BEST, run_benchmark
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_table4_row(benchmark, name):
+    row = benchmark.pedantic(run_benchmark, args=(name,), rounds=1,
+                             iterations=1)
+    benchmark.extra_info.update({
+        "total_fault_space": row["total_fault_space"],
+        "best_reliability": row["best_reliability"],
+        "worst_reliability": row["worst_reliability"],
+        "worst_over_best_percent": round(
+            row["worst_over_best_percent"], 2),
+        "paper_worst_over_best_percent": PAPER_WORST_OVER_BEST[name],
+    })
+    assert row["best_reliability"] <= row["worst_reliability"]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Compiled programs and golden traces are cached at session scope so each
+bench measures only the work it names (an analysis, a campaign, a
+scheduling pass) and not benchmark compilation.
+"""
+
+import pytest
+
+from repro.bench.programs import compile_benchmark, get_benchmark
+from repro.fi.machine import Machine
+
+
+class Prepared:
+    def __init__(self, name):
+        self.name = name
+        self.benchmark = get_benchmark(name)
+        self.program = compile_benchmark(name)
+        self.function = self.program.function
+        self.machine = Machine(self.function,
+                               memory_image=self.program.memory_image)
+        self.regs = self.program.initial_regs(*self.benchmark.args)
+        self.golden = self.machine.run(regs=self.regs)
+
+
+_cache = {}
+
+
+@pytest.fixture
+def prepared():
+    def get(name):
+        if name not in _cache:
+            _cache[name] = Prepared(name)
+        return _cache[name]
+    return get

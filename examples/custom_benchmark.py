@@ -1,0 +1,84 @@
+"""Bring your own kernel: compile, analyze, and *validate* a new program.
+
+Shows the full workflow on a program that is not part of the paper's
+benchmark suite — a Fletcher-16 checksum written in mini-C:
+
+1. compile mini-C to the RISC-V-flavoured IR,
+2. run the BEC analysis and derive campaign sizes,
+3. validate every claim the analysis makes by exhaustive single-event-
+   upset injection on the simulator (paper §V), asserting zero unsound
+   classifications.
+
+Run with::
+
+    python examples/custom_benchmark.py
+"""
+
+from repro.minic import compile_source
+from repro.bec import run_bec
+from repro.fi import Machine, fault_injection_accounting, validate_bec
+from repro.ir import format_function
+
+FLETCHER16 = """
+byte data[12] = {'r', 'e', 'l', 'i', 'a', 'b', 'i', 'l', 'i', 't', 'y',
+                 '!'};
+
+int main() {
+    uint low = 0;
+    uint high = 0;
+    for (int i = 0; i < 12; i++) {
+        low = (low + data[i]) % 255;
+        high = (high + low) % 255;
+    }
+    uint checksum = (high << 8) | low;
+    out((int)checksum);
+    return (int)checksum;
+}
+"""
+
+
+def reference():
+    low = high = 0
+    for byte in b"reliability!":
+        low = (low + byte) % 255
+        high = (high + low) % 255
+    return (high << 8) | low
+
+
+def main():
+    program = compile_source(FLETCHER16)
+    print("Compiled IR:\n")
+    print(format_function(program.function, show_pp=True))
+
+    machine = Machine(program.function,
+                      memory_image=program.memory_image)
+    golden = machine.run()
+    assert golden.returned == reference(), "compiler bug!"
+    print(f"fletcher16 = {golden.returned:#06x} "
+          f"(matches the Python reference)\n")
+
+    bec = run_bec(program.function)
+    accounting = fault_injection_accounting(program.function, golden, bec)
+    print("Fault-injection accounting:")
+    for key, value in accounting.items():
+        print(f"  {key:16s}: "
+              f"{value:.2f}" if isinstance(value, float)
+              else f"  {key:16s}: {value}")
+
+    print("\nValidating every masked/equivalence claim by exhaustive "
+          "injection...")
+    report = validate_bec(program.function, machine, bec, golden=golden)
+    print(f"  {report.runs} fault-injection runs")
+    print(f"  masked claims checked : {report.masked_checked} "
+          f"(unsound: {report.unsound_masked})")
+    print(f"  equivalence groups    : {report.equivalence_groups} "
+          f"(unsound: {report.unsound_equivalences})")
+    print(f"  sound-but-imprecise   : {report.imprecise_pairs} pairs")
+    assert report.unsound_masked == 0
+    assert report.unsound_equivalences == 0
+    print("\nNo unsound classification - the paper's Table II result "
+          "holds for this kernel too.")
+
+
+if __name__ == "__main__":
+    main()

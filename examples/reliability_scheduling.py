@@ -1,0 +1,66 @@
+"""Use case 2 (paper §VI-B): bit-level vulnerability-aware scheduling.
+
+Compiles the bitcount benchmark, reschedules it with the BEC-informed
+list scheduler under the best- and worst-reliability policies, and
+compares the spatio-temporal fault surface of the three variants.  The
+program's outputs are identical in all variants — only *when* registers
+carry live, unmasked bits changes.
+
+Run with::
+
+    python examples/reliability_scheduling.py
+"""
+
+from repro.bench.programs import compile_benchmark, get_benchmark
+from repro.bec import run_bec
+from repro.fi import Machine
+from repro.sched import (BestReliability, OriginalOrder,
+                         WorstReliability, live_fault_sites,
+                         schedule_function, total_fault_space)
+
+
+def evaluate(function, memory_image, regs):
+    bec = run_bec(function)
+    machine = Machine(function, memory_image=memory_image)
+    trace = machine.run(regs=regs)
+    return trace, live_fault_sites(function, trace, bec)
+
+
+def main():
+    name = "bitcount"
+    spec = get_benchmark(name)
+    program = compile_benchmark(name)
+    regs = program.initial_regs(*spec.args)
+    bec = run_bec(program.function)
+
+    print(f"{name}: scheduling {len(program.function.instructions)} "
+          f"instructions under three policies\n")
+    baseline_trace, baseline_surface = evaluate(
+        program.function, program.memory_image, regs)
+    print(f"  total fault space : "
+          f"{total_fault_space(program.function, baseline_trace)} "
+          f"(cycles x register-file bits)")
+
+    results = {"original": baseline_surface}
+    for policy in (BestReliability(), WorstReliability()):
+        scheduled = schedule_function(program.function, policy=policy,
+                                      bec=bec)
+        trace, surface = evaluate(scheduled, program.memory_image, regs)
+        assert trace.outputs == baseline_trace.outputs, \
+            "scheduling must not change behaviour"
+        results[policy.name] = surface
+
+    print(f"  original order    : {results['original']:9d} live "
+          f"fault-site bits")
+    print(f"  best reliability  : {results['best']:9d}")
+    print(f"  worst reliability : {results['worst']:9d}")
+    improvement = (results["worst"] / results["best"] - 1) * 100
+    print(f"\n  worst/best = {improvement + 100:.2f} %  "
+          f"(the scheduler's leverage on this kernel: "
+          f"{improvement:.2f} %)")
+    print("  outputs identical across all variants: "
+          f"{baseline_trace.outputs}")
+
+
+if __name__ == "__main__":
+    main()

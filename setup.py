@@ -1,0 +1,6 @@
+"""Shim so that ``pip install -e .`` works without network access
+(the environment's pip cannot fetch PEP 517 build dependencies)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "BEC: Bit-Level Static Analysis for Reliability
+against Soft Errors" (CGO 2024).
+
+Public API overview:
+
+* :mod:`repro.ir` — RISC-V-flavoured three-address IR (parser, builder,
+  CFG, liveness, def-use chains).
+* :mod:`repro.bitvalue` — global abstract bit-value analysis (paper §IV-A).
+* :mod:`repro.bec` — bit-level error coalescing analysis (paper §IV-B),
+  the paper's primary contribution.
+* :mod:`repro.fi` — ISA simulator, execution traces, fault-injection
+  campaigns, and the soundness validation harness (paper §V).
+* :mod:`repro.sched` — vulnerability-aware list scheduling (paper §VI-B).
+* :mod:`repro.minic` — a mini-C compiler targeting the IR, used to build
+  the eight evaluation benchmarks.
+* :mod:`repro.bench` — the benchmark programs and the paper's worked
+  examples.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,2 @@
+"""Benchmark programs: the eight evaluation kernels and the paper's
+worked examples."""

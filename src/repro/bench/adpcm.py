@@ -1,0 +1,229 @@
+"""ADPCM encoder/decoder (MiBench telecomm/adpcm, IMA ADPCM).
+
+The encoder quantizes 16-bit PCM samples into 4-bit codes; the decoder
+reconstructs them.  Both clamp internal 4-bit arithmetic onto narrow
+outputs — the characteristic the paper credits for the large number of
+masked bits it finds here (17.47 % pruning for the decoder).
+
+``adpcm_enc`` and ``adpcm_dec`` are separate benchmarks as in the paper;
+the decoder consumes the code stream the encoder produces (embedded as
+constants, computed by the Python reference implementation).
+"""
+
+import math
+
+#: IMA ADPCM index adjustment table.
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+#: IMA ADPCM quantizer step-size table (89 entries).
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+NSAMPLES = 24
+
+#: Synthetic PCM input: a decaying sine, quantized to 16-bit.
+PCM_SAMPLES = [
+    int(12000 * math.sin(0.45 * i) * math.exp(-0.02 * i))
+    for i in range(NSAMPLES)
+]
+
+
+def encode(samples):
+    """Pure-Python IMA ADPCM encoder (the reference)."""
+    valpred = 0
+    index = 0
+    codes = []
+    for sample in samples:
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        step = STEP_TABLE[index]
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+        codes.append(delta)
+    return codes
+
+
+def decode(codes):
+    """Pure-Python IMA ADPCM decoder (the reference)."""
+    valpred = 0
+    index = 0
+    samples = []
+    for delta in codes:
+        index = max(0, min(88, index))
+        step = STEP_TABLE[index]
+        sign = delta & 8
+        magnitude = delta & 7
+        vpdiff = step >> 3
+        if magnitude & 4:
+            vpdiff += step
+        if magnitude & 2:
+            vpdiff += step >> 1
+        if magnitude & 1:
+            vpdiff += step >> 2
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+        samples.append(valpred)
+    return samples
+
+
+CODES = encode(PCM_SAMPLES)
+
+_TABLES = """
+int index_table[16] = {%(index_table)s};
+int step_table[89] = {%(step_table)s};
+""" % {
+    "index_table": ", ".join(str(v) for v in INDEX_TABLE),
+    "step_table": ", ".join(str(v) for v in STEP_TABLE),
+}
+
+ENCODER_SOURCE = _TABLES + """
+int pcm[%(nsamples)d] = {%(samples)s};
+
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int checksum = 0;
+    for (int i = 0; i < %(nsamples)d; i++) {
+        int sample = pcm[i];
+        int diff = sample - valpred;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int step = step_table[index];
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step = step >> 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step = step >> 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+        if (sign != 0) {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        if (valpred > 32767) valpred = 32767;
+        if (valpred < -32768) valpred = -32768;
+        delta |= sign;
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        out(delta);
+        checksum = checksum * 31 + delta;
+    }
+    out(checksum);
+    return checksum;
+}
+""" % {
+    "nsamples": NSAMPLES,
+    "samples": ", ".join(str(v) for v in PCM_SAMPLES),
+}
+
+DECODER_SOURCE = _TABLES + """
+int codes[%(ncodes)d] = {%(codes)s};
+
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int checksum = 0;
+    for (int i = 0; i < %(ncodes)d; i++) {
+        int delta = codes[i];
+        int step = step_table[index];
+        int sign = delta & 8;
+        int magnitude = delta & 7;
+        int vpdiff = step >> 3;
+        if ((magnitude & 4) != 0) vpdiff += step;
+        if ((magnitude & 2) != 0) vpdiff += step >> 1;
+        if ((magnitude & 1) != 0) vpdiff += step >> 2;
+        if (sign != 0) {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        if (valpred > 32767) valpred = 32767;
+        if (valpred < -32768) valpred = -32768;
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        out(valpred);
+        checksum = checksum * 31 + valpred;
+    }
+    out(checksum);
+    return checksum;
+}
+""" % {
+    "ncodes": len(CODES),
+    "codes": ", ".join(str(v) for v in CODES),
+}
+
+
+def _checksum(values):
+    checksum = 0
+    for value in values:
+        checksum = (checksum * 31 + value) & 0xFFFFFFFF
+        if checksum >= 0x80000000:
+            checksum -= 0x100000000
+    return checksum & 0xFFFFFFFF
+
+
+def encoder_reference():
+    """Expected ``out`` values of the encoder benchmark."""
+    codes = encode(PCM_SAMPLES)
+    return codes + [_checksum(codes)]
+
+
+def decoder_reference():
+    """Expected ``out`` values of the decoder benchmark."""
+    samples = decode(CODES)
+    outputs = [value & 0xFFFFFFFF for value in samples]
+    return outputs + [_checksum(samples)]

@@ -1,0 +1,56 @@
+"""The paper's Fig. 4 coalescing walkthrough (fork-after-join snippet).
+
+The original snippet is in SSA form with ``v = φ(a, b)``; our IR is
+non-SSA (like the paper's actual implementation level, where SSA is
+already deconstructed), so the φ becomes two ``mv`` instructions on the
+two arms.  The selection branch tests a third input ``c`` so that ``a``
+and ``b`` are only read by the φ-moves, as in the figure.
+
+Expected final classes (paper Fig. 4c, adapted to the mv encoding —
+see ``tests/bec/test_fig4.py``):
+
+* ``v`` after the join: bits 2 and 3 masked (all three reads discard
+  them), bits 0 and 1 remain singletons;
+* ``m = andi v, 1``: bits 1..3 coalesce into one class via the ``beqz``
+  eval rule, bit 0 stays separate;
+* ``v`` after the ``andi`` read: bits 2,3 masked, bits 0,1 singletons;
+* the shift results ``v8``/``v4`` keep per-bit singleton classes.
+"""
+
+from repro.ir.parser import parse_function
+
+SOURCE = """
+func fig4 width=4 params=a,b,c
+bb.entry:
+    bnez c, bb.arm_b
+bb.arm_a:
+    mv v, a
+    j bb.join
+bb.arm_b:
+    mv v, b
+bb.join:
+    andi m, v, 1
+    beqz m, bb.even
+bb.odd:
+    slli v4, v, 2
+    out v4
+    ret v4
+bb.even:
+    slli v8, v, 3
+    out v8
+    ret v8
+"""
+
+
+def fig4_function():
+    """The finalized 4-bit Fig. 4 snippet."""
+    return parse_function(SOURCE)
+
+
+#: Program points of interest (after parsing; see the source above).
+PP_MV_A = 1       # mv v, a   (arm a)
+PP_MV_B = 3       # mv v, b   (arm b)
+PP_ANDI = 4       # andi m, v, 1
+PP_BEQZ = 5       # beqz m, bb.even
+PP_SLLI_V4 = 6    # slli v4, v, 2
+PP_SLLI_V8 = 9    # slli v8, v, 3

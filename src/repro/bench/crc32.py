@@ -1,0 +1,52 @@
+"""CRC32 (MiBench telecomm/CRC32, adapted to mini-C).
+
+Builds the standard reflected CRC-32 table (polynomial 0xEDB88320) at
+startup and then checksums a message buffer byte by byte, exactly like
+the MiBench kernel.  The table construction is mask/shift/xor-heavy with
+constants, the friendly shape for bit-value analysis; the paper reports
+a 14.07 % pruning rate and the largest scheduling improvement (13.11 %)
+for this benchmark.
+"""
+
+import binascii
+
+MESSAGE = bytes(
+    b"The quick brown fox jumps over the lazy dog....")[:32]
+
+SOURCE = """
+uint crc_table[256];
+byte message[%(length)d] = {%(message)s};
+
+void build_table() {
+    for (uint i = 0; i < 256; i++) {
+        uint c = i;
+        for (int k = 0; k < 8; k++) {
+            if ((c & 1) != 0) {
+                c = (c >> 1) ^ 0xEDB88320;
+            } else {
+                c = c >> 1;
+            }
+        }
+        crc_table[i] = c;
+    }
+}
+
+int main() {
+    build_table();
+    uint crc = 0xFFFFFFFF;
+    for (int i = 0; i < %(length)d; i++) {
+        crc = crc_table[(crc ^ message[i]) & 0xFF] ^ (crc >> 8);
+    }
+    crc = crc ^ 0xFFFFFFFF;
+    out((int)crc);
+    return (int)(crc & 0x7FFFFFFF);
+}
+""" % {
+    "length": len(MESSAGE),
+    "message": ", ".join(str(byte) for byte in MESSAGE),
+}
+
+
+def reference():
+    """Expected ``out`` values."""
+    return [binascii.crc32(MESSAGE) & 0xFFFFFFFF]

@@ -1,0 +1,71 @@
+"""The paper's motivating example (Fig. 1 / Fig. 2).
+
+``countYears`` counts the years in 7..1 that are even but not multiples
+of four, on a 4-bit register file.  Two encodings are provided:
+
+* :func:`count_years` — the original instruction order of Fig. 2a;
+* :func:`count_years_scheduled` — the hand-rescheduled order of Fig. 2c
+  (the one bit-level vulnerability-aware scheduling discovers).
+
+The paper's worked numbers for this program are reproduced by the test
+suite and by ``experiments/fig2.py``:
+
+* value-level inject-on-read: 288 fault-injection runs;
+* BEC bit-level: 225 runs (21.8 % pruned);
+* live fault sites: 681 before, 576 after rescheduling (15.4 % less).
+"""
+
+from repro.ir.parser import parse_function
+
+SOURCE = """
+func countYears width=4
+bb.entry:
+    li v0, 0
+    li v1, 7
+bb.loop:
+    andi v2, v1, 1
+    andi v3, v1, 3
+    addi v1, v1, -1
+    seqz v2, v2
+    snez v3, v3
+    and v2, v2, v3
+    add v0, v0, v2
+    bnez v1, bb.loop
+bb.exit:
+    ret v0
+"""
+
+SCHEDULED_SOURCE = """
+func countYears width=4
+bb.entry:
+    li v0, 0
+    li v1, 7
+bb.loop:
+    andi v2, v1, 1
+    seqz v2, v2
+    andi v3, v1, 3
+    snez v3, v3
+    and v2, v2, v3
+    add v0, v0, v2
+    addi v1, v1, -1
+    bnez v1, bb.loop
+bb.exit:
+    ret v0
+"""
+
+#: Paper-reported numbers for this example (Fig. 2 and §III).
+PAPER_VALUE_LEVEL_RUNS = 288
+PAPER_BIT_LEVEL_RUNS = 225
+PAPER_LIVE_FAULT_SITES = 681
+PAPER_LIVE_FAULT_SITES_SCHEDULED = 576
+PAPER_EXPECTED_RESULT = 2        # years 6 and 2
+
+
+def count_years():
+    """The Fig. 2a function (finalized, 4-bit)."""
+    return parse_function(SOURCE)
+
+
+def count_years_scheduled():
+    """The Fig. 2c rescheduled variant."""
+    return parse_function(SCHEDULED_SOURCE)

@@ -1,0 +1,66 @@
+"""RSA (FISSC's PIN-protected RSA, reduced to mini-C scale).
+
+Textbook RSA encrypt + decrypt via square-and-multiply modular
+exponentiation.  The modulus is 16 bits so that every intermediate
+product fits the 32-bit registers (the paper's testbed has the same
+property at 32/64 bits; the *shape* of the computation — multiply,
+reduce, shift the exponent — is identical).
+
+Multiplication and remainder dominate, and neither has bit-level
+coalescing rules, which is exactly why the paper measures RSA as the
+adversary case (0.08 % pruning).
+"""
+
+N = 3233            # 61 * 53
+E = 17
+D = 2753            # 17 * 2753 = 46801 = 15 * 3120 + 1
+MESSAGES = (65, 66, 67, 1234)
+
+SOURCE = """
+uint messages[%(count)d] = {%(messages)s};
+
+uint modexp(uint base, uint exponent, uint modulus) {
+    uint result = 1;
+    base = base %% modulus;
+    while (exponent != 0) {
+        if ((exponent & 1) != 0) {
+            result = (result * base) %% modulus;
+        }
+        exponent = exponent >> 1;
+        base = (base * base) %% modulus;
+    }
+    return result;
+}
+
+int main() {
+    uint checksum = 0;
+    for (int i = 0; i < %(count)d; i++) {
+        uint cipher = modexp(messages[i], %(e)d, %(n)d);
+        out((int)cipher);
+        uint plain = modexp(cipher, %(d)d, %(n)d);
+        out((int)plain);
+        checksum = checksum + cipher + plain;
+    }
+    out((int)checksum);
+    return (int)(checksum & 0x7FFFFFFF);
+}
+""" % {
+    "count": len(MESSAGES),
+    "messages": ", ".join(str(m) for m in MESSAGES),
+    "e": E,
+    "n": N,
+    "d": D,
+}
+
+
+def reference():
+    """Expected ``out`` values (cipher, plain per message, checksum)."""
+    outputs = []
+    checksum = 0
+    for message in MESSAGES:
+        cipher = pow(message, E, N)
+        plain = pow(cipher, D, N)
+        outputs.extend([cipher, plain])
+        checksum += cipher + plain
+    outputs.append(checksum & 0xFFFFFFFF)
+    return outputs

@@ -1,0 +1,93 @@
+"""SHA-1 single-block digest (MiBench security/sha, in mini-C).
+
+Processes one padded 64-byte block with the full 80-round compression
+function: rotations built from paired shifts and ors, xor-heavy message
+scheduling, and the three round functions.  Verified against
+``hashlib.sha1``.
+"""
+
+import hashlib
+
+MESSAGE = b"abc"
+
+
+def _padded_block(message):
+    if len(message) > 55:
+        raise ValueError("single-block SHA-1 needs a message <= 55 bytes")
+    block = bytearray(message)
+    block.append(0x80)
+    block.extend(b"\x00" * (62 - len(block)))
+    bit_length = 8 * len(message)
+    block.extend(bit_length.to_bytes(2, "big"))
+    return bytes(block)
+
+
+BLOCK = _padded_block(MESSAGE)
+
+SOURCE = """
+byte block[64] = {%(block)s};
+uint w[80];
+
+int main() {
+    uint h0 = 0x67452301;
+    uint h1 = 0xEFCDAB89;
+    uint h2 = 0x98BADCFE;
+    uint h3 = 0x10325476;
+    uint h4 = 0xC3D2E1F0;
+    for (int t = 0; t < 16; t++) {
+        w[t] = (block[4 * t] << 24) | (block[4 * t + 1] << 16)
+             | (block[4 * t + 2] << 8) | block[4 * t + 3];
+    }
+    for (int t = 16; t < 80; t++) {
+        uint x = w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16];
+        w[t] = (x << 1) | (x >> 31);
+    }
+    uint a = h0;
+    uint b = h1;
+    uint c = h2;
+    uint d = h3;
+    uint e = h4;
+    for (int t = 0; t < 80; t++) {
+        uint f = 0;
+        uint k = 0;
+        if (t < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 0x5A827999;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDC;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6;
+        }
+        uint temp = ((a << 5) | (a >> 27)) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = (b << 30) | (b >> 2);
+        b = a;
+        a = temp;
+    }
+    h0 = h0 + a;
+    h1 = h1 + b;
+    h2 = h2 + c;
+    h3 = h3 + d;
+    h4 = h4 + e;
+    out((int)h0);
+    out((int)h1);
+    out((int)h2);
+    out((int)h3);
+    out((int)h4);
+    return (int)(h0 & 0x7FFFFFFF);
+}
+""" % {
+    "block": ", ".join(str(v) for v in BLOCK),
+}
+
+
+def reference():
+    """Expected ``out`` values: the five 32-bit digest words."""
+    digest = hashlib.sha1(MESSAGE).digest()
+    return [int.from_bytes(digest[i:i + 4], "big") for i in range(0, 20, 4)]

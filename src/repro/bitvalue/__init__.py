@@ -1,0 +1,17 @@
+"""Global abstract bit-value analysis (paper §IV-A)."""
+
+from repro.bitvalue.analysis import BitValueResult, compute_bit_values
+from repro.bitvalue.lattice import Bit, BitVector, bit_meet
+from repro.bitvalue.transfer import (abstract_branch, transfer_binary,
+                                     transfer_unary)
+
+__all__ = [
+    "Bit",
+    "BitValueResult",
+    "BitVector",
+    "abstract_branch",
+    "bit_meet",
+    "compute_bit_values",
+    "transfer_binary",
+    "transfer_unary",
+]

@@ -1,0 +1,400 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command> ...``)::
+
+    compile  FILE.mc [-o OUT.ir] [-O{0,1,2}]   mini-C -> textual IR
+    run      FILE.{mc,ir} [--args N ...]       simulate, print outputs
+    analyze  FILE.{mc,ir} [--extended]         BEC report per window
+    campaign FILE.{mc,ir} [--mode bec|ior|exhaustive] [--execute N]
+    validate FILE.{mc,ir} [--cycles N]         paper §V soundness check
+    schedule FILE.{mc,ir} [--policy best|worst|original|...]
+    sample   FILE.{mc,ir} [--budget N] [--bec] statistical AVF estimate
+    memory   FILE.{mc,ir} [--execute]          memory-cell fault space
+    fuzz     [--count N] [--seed N]            random-program soundness
+
+``.mc`` files are compiled with the mini-C compiler (entry ``main``);
+``.ir`` files are parsed as textual IR.  Program arguments land in the
+entry function's parameter registers.
+"""
+
+import argparse
+import sys
+
+from repro.bec.analysis import run_bec
+from repro.bec.intra import RuleSet
+from repro.fi.accounting import fault_injection_accounting
+from repro.fi.campaign import (plan_bec, plan_exhaustive,
+                               plan_inject_on_read, run_campaign)
+from repro.fi.machine import Machine
+from repro.fi.memory import (memory_fault_accounting, plan_memory_bec,
+                             plan_memory_inject_on_read,
+                             run_memory_campaign)
+from repro.fi.sampling import estimate_avf
+from repro.fi.validate import validate_bec
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.minic.compiler import compile_source
+from repro.sched.list_scheduler import schedule_function
+from repro.sched.policies import (BestReliability, OriginalOrder,
+                                  WorstReliability)
+from repro.sched.related import (LiveIntervalMinimizing,
+                                 LookaheadCriticality)
+from repro.sched.vulnerability import live_fault_sites
+
+
+class LoadedProgram:
+    def __init__(self, function, memory_image, param_regs):
+        self.function = function
+        self.memory_image = memory_image
+        self.param_regs = param_regs
+
+
+def load_program(path, optimize=1):
+    """Load a ``.mc`` or ``.ir`` file into a :class:`LoadedProgram`."""
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".ir"):
+        function = parse_function(source)
+        return LoadedProgram(function, b"", list(function.params))
+    program = compile_source(source, optimize=optimize)
+    return LoadedProgram(program.function, program.memory_image,
+                         program.param_regs)
+
+
+def _initial_regs(program, args):
+    if len(args) != len(program.param_regs):
+        raise SystemExit(
+            f"program expects {len(program.param_regs)} arguments "
+            f"({', '.join(program.param_regs)}), got {len(args)}")
+    return dict(zip(program.param_regs, args))
+
+
+def _golden(program, args):
+    machine = Machine(program.function,
+                      memory_image=program.memory_image)
+    trace = machine.run(regs=_initial_regs(program, args))
+    if trace.outcome != "ok":
+        raise SystemExit(f"golden run failed: {trace.outcome} "
+                         f"({trace.trap_kind or ''})")
+    return machine, trace
+
+
+def cmd_compile(options):
+    level = 0 if options.no_opt else options.level
+    program = load_program(options.file, optimize=level)
+    text = format_function(program.function)
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {options.output} "
+              f"({len(program.function.instructions)} instructions)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_run(options):
+    program = load_program(options.file)
+    _, trace = _golden(program, options.args)
+    for value in trace.outputs:
+        print(f"out: {value} ({value:#x})")
+    print(f"returned: {trace.returned}")
+    print(f"cycles:   {trace.cycles}")
+    return 0
+
+
+def cmd_analyze(options):
+    program = load_program(options.file)
+    rules = RuleSet(extended=options.extended)
+    bec = run_bec(program.function, rules=rules)
+    summary = bec.summary()
+    print(f"function {program.function.name}: "
+          f"{len(program.function.instructions)} instructions, "
+          f"width {program.function.bit_width}")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if options.windows:
+        print("\nper-window classes (0 = masked):")
+        for pp, reg in bec.fault_space.windows():
+            instruction = program.function.instruction_at(pp)
+            classes = bec.window_classes(pp, reg)
+            print(f"  p{pp:<4d} {str(instruction):32s} {reg:>6s}  "
+                  f"{classes}")
+    return 0
+
+
+def cmd_campaign(options):
+    program = load_program(options.file)
+    machine, golden = _golden(program, options.args)
+    bec = run_bec(program.function)
+    if options.mode == "bec":
+        plan = plan_bec(program.function, golden, bec)
+    elif options.mode == "ior":
+        plan = plan_inject_on_read(program.function, golden)
+    else:
+        plan = plan_exhaustive(program.function, golden)
+    accounting = fault_injection_accounting(program.function, golden, bec)
+    print(f"golden trace: {golden.cycles} cycles")
+    print(f"plan ({options.mode}): {len(plan)} fault-injection runs")
+    print(f"accounting: {accounting}")
+    if options.execute:
+        slice_ = plan[:options.execute]
+        result = run_campaign(machine, slice_,
+                              regs=_initial_regs(program, options.args),
+                              golden=golden)
+        print(f"executed {len(slice_)} runs in "
+              f"{result.wall_time:.2f}s: {result.effect_counts()}")
+        print(f"distinguishable traces: {result.distinct_traces} "
+              f"({result.archived_bytes} bytes archived)")
+    return 0
+
+
+def cmd_validate(options):
+    program = load_program(options.file)
+    machine, golden = _golden(program, options.args)
+    bec = run_bec(program.function,
+                  rules=RuleSet(extended=options.extended))
+    report = validate_bec(program.function, machine, bec,
+                          regs=_initial_regs(program, options.args),
+                          golden=golden, cycle_limit=options.cycles)
+    print(f"validated {report.instances} window-bit instances "
+          f"({report.runs} injections)")
+    print(f"  masked claims:     {report.masked_checked} "
+          f"(unsound: {report.unsound_masked})")
+    print(f"  equivalence groups: {report.equivalence_groups} "
+          f"(unsound: {report.unsound_equivalences})")
+    print(f"  sound-but-imprecise pairs: {report.imprecise_pairs}")
+    if report.unsound_masked or report.unsound_equivalences:
+        print("UNSOUND CLASSIFICATIONS FOUND")
+        return 1
+    print("no unsound classification")
+    return 0
+
+
+#: CLI names of the scheduling policies.
+POLICIES = {
+    "best": BestReliability,
+    "worst": WorstReliability,
+    "original": OriginalOrder,
+    "live-interval": LiveIntervalMinimizing,
+    "lookahead": LookaheadCriticality,
+}
+
+
+def cmd_sample(options):
+    program = load_program(options.file)
+    machine, golden = _golden(program, options.args)
+    bec = run_bec(program.function) if options.bec else None
+    estimate = estimate_avf(machine, program.function, golden,
+                            options.budget, seed=options.seed,
+                            regs=_initial_regs(program, options.args),
+                            golden=golden, bec=bec,
+                            confidence=options.confidence)
+    mode = "BEC-collapsed" if options.bec else "uniform"
+    print(f"{mode} sampling: {estimate.trials} samples over "
+          f"{estimate.population} fault sites")
+    print(f"AVF estimate: {estimate.avf:.4f}  "
+          f"[{estimate.low:.4f}, {estimate.high:.4f}] "
+          f"at {options.confidence:.0%} confidence")
+    print(f"simulator runs: {estimate.simulator_runs}")
+    return 0
+
+
+def cmd_memory(options):
+    program = load_program(options.file)
+    machine, golden = _golden(program, options.args)
+    if not golden.loads:
+        print("program performs no loads; memory fault space is empty")
+        return 0
+    bec = run_bec(program.function)
+    accounting = memory_fault_accounting(program.function, golden, bec)
+    print(f"golden trace: {golden.cycles} cycles, "
+          f"{len(golden.loads)} loads")
+    print(f"memory accounting: {accounting}")
+    if options.execute:
+        full = plan_memory_inject_on_read(program.function, golden)
+        pruned = plan_memory_bec(program.function, golden, bec)
+        regs = _initial_regs(program, options.args)
+        result = run_memory_campaign(machine, pruned, regs=regs,
+                                     golden=golden)
+        print(f"pruned campaign: {len(pruned)}/{len(full)} runs, "
+              f"effects {result.effect_counts()}")
+    return 0
+
+
+def cmd_fuzz(options):
+    from repro.ir.randgen import (GeneratorConfig, generate_function,
+                                  random_inputs)
+
+    config = GeneratorConfig(width=options.width)
+    failures = 0
+    for seed in range(options.seed, options.seed + options.count):
+        function = generate_function(seed, config)
+        machine = Machine(function)
+        regs = random_inputs(seed, function)
+        golden = machine.run(regs=regs, max_cycles=100_000)
+        if golden.outcome != "ok":
+            print(f"seed {seed}: golden run {golden.outcome} — skipped")
+            continue
+        bec = run_bec(function,
+                      rules=RuleSet(extended=options.extended))
+        report = validate_bec(function, machine, bec, regs=regs,
+                              golden=golden,
+                              cycle_limit=options.cycles)
+        verdict = "ok"
+        if report.unsound_masked or report.unsound_equivalences:
+            verdict = (f"UNSOUND (masked {report.unsound_masked}, "
+                       f"equivalence {report.unsound_equivalences})")
+            failures += 1
+        print(f"seed {seed}: {report.instances} instances, "
+              f"{report.equivalence_groups} groups -> {verdict}")
+    if failures:
+        print(f"{failures}/{options.count} seeds UNSOUND")
+        return 1
+    print(f"all {options.count} seeds sound")
+    return 0
+
+
+def cmd_dot(options):
+    from repro.ir.dot import cfg_to_dot, ddg_to_dot
+
+    program = load_program(options.file)
+    if options.ddg:
+        text = ddg_to_dot(program.function.block(options.ddg))
+    else:
+        bec = run_bec(program.function) if options.bec else None
+        text = cfg_to_dot(program.function, bec=bec)
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {options.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_schedule(options):
+    program = load_program(options.file)
+    machine, golden = _golden(program, options.args)
+    bec = run_bec(program.function)
+    policy = POLICIES[options.policy]()
+    scheduled = schedule_function(program.function, policy=policy,
+                                  bec=bec)
+    scheduled_bec = run_bec(scheduled)
+    scheduled_machine = Machine(scheduled,
+                                memory_image=program.memory_image)
+    trace = scheduled_machine.run(
+        regs=_initial_regs(program, options.args))
+    before = live_fault_sites(program.function, golden, bec)
+    after = live_fault_sites(scheduled, trace, scheduled_bec)
+    print(f"fault surface: {before} -> {after} live bit-sites "
+          f"({(1 - after / max(before, 1)) * 100:+.2f} % change)")
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(format_function(scheduled))
+        print(f"wrote {options.output}")
+    else:
+        sys.stdout.write(format_function(scheduled))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BEC bit-level reliability analysis (CGO 2024 "
+                    "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, handler, **kwargs):
+        sub = commands.add_parser(name, **kwargs)
+        sub.set_defaults(handler=handler)
+        sub.add_argument("file", help="program (.mc mini-C or .ir IR)")
+        return sub
+
+    sub = add("compile", cmd_compile, help="compile mini-C to IR")
+    sub.add_argument("-o", "--output")
+    sub.add_argument("-O", dest="level", type=int, choices=(0, 1, 2),
+                     default=1,
+                     help="optimization level (default 1: copyprop+DCE)")
+    sub.add_argument("--no-opt", action="store_true",
+                     help="alias for -O0")
+
+    sub = add("run", cmd_run, help="simulate a program")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("analyze", cmd_analyze, help="run the BEC analysis")
+    sub.add_argument("--extended", action="store_true",
+                     help="enable the extended (sound) rule set")
+    sub.add_argument("--windows", action="store_true",
+                     help="print per-window bit classes")
+
+    sub = add("campaign", cmd_campaign,
+              help="plan (and optionally execute) an FI campaign")
+    sub.add_argument("--mode", choices=("bec", "ior", "exhaustive"),
+                     default="bec")
+    sub.add_argument("--execute", type=int, default=0,
+                     help="execute the first N planned runs")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("validate", cmd_validate,
+              help="validate analysis claims by exhaustive injection")
+    sub.add_argument("--cycles", type=int, default=None,
+                     help="validate only the first N trace cycles")
+    sub.add_argument("--extended", action="store_true")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("schedule", cmd_schedule,
+              help="vulnerability-aware rescheduling")
+    sub.add_argument("--policy", choices=tuple(POLICIES),
+                     default="best")
+    sub.add_argument("-o", "--output")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("sample", cmd_sample,
+              help="statistical AVF estimate by random fault sampling")
+    sub.add_argument("--budget", type=int, default=500)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--confidence", type=float, default=0.95)
+    sub.add_argument("--bec", action="store_true",
+                     help="collapse simulator runs per BEC class")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("memory", cmd_memory,
+              help="memory-cell fault accounting and pruned campaign")
+    sub.add_argument("--execute", action="store_true",
+                     help="execute the pruned memory campaign")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
+    sub = add("dot", cmd_dot, help="export CFG/DDG as Graphviz DOT")
+    sub.add_argument("--ddg", metavar="LABEL",
+                     help="export the DDG of one basic block instead")
+    sub.add_argument("--bec", action="store_true",
+                     help="annotate CFG nodes with unmasked-bit counts")
+    sub.add_argument("-o", "--output")
+
+    sub = commands.add_parser(
+        "fuzz", help="random-program differential soundness check")
+    sub.set_defaults(handler=cmd_fuzz)
+    sub.add_argument("--count", type=int, default=10)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--width", type=int, default=8)
+    sub.add_argument("--cycles", type=int, default=150,
+                     help="validate only the first N trace cycles")
+    sub.add_argument("--extended", action="store_true")
+
+    return parser
+
+
+def main(argv=None):
+    options = build_parser().parse_args(argv)
+    return options.handler(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad operands, unknown opcodes, broken CFG."""
+
+
+class ParseError(ReproError):
+    """Error while parsing textual IR or mini-C source."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SemanticError(ReproError):
+    """Semantic error in mini-C source (types, undeclared names, ...)."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        location = f" at line {line}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class AnalysisError(ReproError):
+    """Error raised by a static analysis (unsupported IR shape, ...)."""
+
+
+class SimulationError(ReproError):
+    """Error raised by the ISA simulator (bad memory access, ...)."""
+
+
+class MachineTrap(SimulationError):
+    """A trap raised during simulated execution (observable outcome).
+
+    Traps are *outcomes*, not bugs: a fault-injection run that drives the
+    program into an out-of-bounds access terminates with a trap, and the
+    trap kind becomes part of the execution trace.
+    """
+
+    def __init__(self, kind, detail=""):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"trap: {kind}{(' (' + detail + ')') if detail else ''}")

@@ -1,0 +1,10 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Run everything with ``python -m repro.experiments``; individual
+experiments are importable (``run_experiment()`` returns structured
+data, ``render()`` formats it like the paper's table).
+"""
+
+from repro.experiments import fig2, fig4, table1, table2, table3, table4
+
+__all__ = ["fig2", "fig4", "table1", "table2", "table3", "table4"]

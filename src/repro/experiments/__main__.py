@@ -1,0 +1,56 @@
+"""Run all experiments and print paper-style tables.
+
+Usage::
+
+    python -m repro.experiments                        # everything
+    python -m repro.experiments fig2 table3            # a selection
+    python -m repro.experiments --markdown EXPERIMENTS.md
+"""
+
+import sys
+import time
+
+from repro.experiments import (fig2, fig4, markdown, policy_comparison,
+                               table1, table2, table3, table4)
+
+EXPERIMENTS = {
+    "fig2": fig2,
+    "fig4": fig4,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "policy-comparison": policy_comparison,
+}
+
+
+DEFAULT_ORDER = ["fig2", "fig4", "table3", "table4", "table1", "table2",
+                 "policy-comparison"]
+
+
+def main(argv=None):
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    if arguments and arguments[0] == "--markdown":
+        path = arguments[1] if len(arguments) > 1 else "EXPERIMENTS.md"
+        names = arguments[2:] or DEFAULT_ORDER
+        markdown.generate(EXPERIMENTS, names, path)
+        print(f"wrote {path}")
+        return 0
+    names = arguments or DEFAULT_ORDER
+    for name in names:
+        module = EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; "
+                  f"choose from {sorted(EXPERIMENTS)}")
+            return 1
+        start = time.perf_counter()
+        result = module.run_experiment()
+        elapsed = time.perf_counter() - start
+        print(module.render(result))
+        print(f"[{name} finished in {elapsed:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

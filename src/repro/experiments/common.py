@@ -1,0 +1,40 @@
+"""Shared plumbing for the experiment harnesses.
+
+One :class:`BenchmarkRun` per benchmark bundles the compiled program,
+its golden trace and the BEC analysis; results are cached per process
+because several experiments share them.
+"""
+
+from repro.bench.programs import (BENCHMARK_ORDER, compile_benchmark,
+                                  get_benchmark)
+from repro.bec.analysis import run_bec
+from repro.fi.machine import Machine
+
+
+class BenchmarkRun:
+    def __init__(self, name):
+        self.name = name
+        self.benchmark = get_benchmark(name)
+        self.program = compile_benchmark(name)
+        self.function = self.program.function
+        self.machine = Machine(self.function,
+                               memory_image=self.program.memory_image)
+        self.regs = self.program.initial_regs(*self.benchmark.args)
+        self.golden = self.machine.run(regs=self.regs)
+        if self.golden.outcome != "ok":
+            raise RuntimeError(
+                f"{name}: golden run failed ({self.golden.outcome})")
+        self.bec = run_bec(self.function)
+
+
+_cache = {}
+
+
+def benchmark_run(name):
+    if name not in _cache:
+        _cache[name] = BenchmarkRun(name)
+    return _cache[name]
+
+
+def all_benchmark_names():
+    return list(BENCHMARK_ORDER)

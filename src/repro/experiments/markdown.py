@@ -1,0 +1,103 @@
+"""EXPERIMENTS.md generator.
+
+Runs every experiment harness and writes a markdown report with one
+section per paper artifact: the regenerated table (which embeds the
+paper's own numbers for comparison) plus a shape-agreement note.  The
+repository's checked-in ``EXPERIMENTS.md`` is produced by::
+
+    python -m repro.experiments --markdown EXPERIMENTS.md
+"""
+
+import time
+
+PREAMBLE = """\
+# Experiments — paper vs. this reproduction
+
+Reproduction of every table and figure in the evaluation of
+*BEC: Bit-Level Static Analysis for Reliability against Soft Errors*
+(Ko & Burgstaller, CGO 2024).  Regenerate this file with::
+
+    python -m repro.experiments --markdown EXPERIMENTS.md
+
+Absolute numbers differ from the paper by design: the paper compiles
+the benchmarks with LLVM 16 for RISC-V hardware and traces them on
+SPIKE, while this reproduction compiles mini-C versions of the same
+kernels for a RISC-V-flavoured IR and traces them on a pure-Python
+simulator at reduced input scale (see DESIGN.md §2 for the substitution
+table).  What must carry over — and is asserted by
+`tests/experiments/` — is the *shape*: who wins, by roughly what
+factor, and where the outliers sit.
+"""
+
+#: Per-experiment shape commentary recorded alongside the raw tables.
+NOTES = {
+    "fig2": """\
+Exact reproduction — all five derived numbers match the paper's worked
+example: 288 value-level runs, 225 bit-level runs (21.9 % pruned), a
+681-site fault surface, 576 after rescheduling, and the automatic
+scheduler discovering a 576-site schedule on its own.""",
+    "fig4": """\
+Exact reproduction of the coalescing walkthrough: the final class
+assignment on the fork-after-join snippet matches the paper's Fig. 4c
+(the `beqz` operand bits 14/15/16 coalesce; `v` bits 2-3 at `p2` merge
+into `[s0]`; bits 0-1 keep their own classes).""",
+    "table1": """\
+Absolute hours/GB are not reproducible in Python; the harness sweeps a
+sampled slice and extrapolates.  The paper's shape holds: campaign cost
+grows superlinearly with trace length — at our reduced input scale
+CRC32 has the longest trace and dominates, just as the paper's RSA
+(50 h at its input size) dominates there — archived bytes track
+distinct-trace counts, and the BEC analysis itself stays in the noise
+(well under a second, "no significant compile time overhead").""",
+    "table2": """\
+Same verdict as the paper: zero unsound cases — no masked claim is
+contradicted by injection and no equivalence group mixes distinguishable
+traces.  Sound-but-imprecise pairs exist (distinct classes whose traces
+happen to collide), which the paper observed too; they cost precision,
+never correctness.""",
+    "table3": """\
+Shape agreements: the xor-saturated crypto kernels prune the most (AES
+is in the top three, as in the paper's 30.04 % headline); the ADPCM
+decoder beats the encoder thanks to its constant-mask clamps; the
+compare/add-dominated kernels (dijkstra, adpcm_enc) prune the least.
+Divergence: the paper's RSA is an arithmetic adversary (0.08 %), while
+our mini-C RSA uses shift/mask-based modular reduction and therefore
+prunes more; dijkstra takes over the adversary role here.""",
+    "table4": """\
+Shape agreements: every benchmark's best-policy schedule is at least as
+reliable as its worst (no degradation, as the paper reports); bitcount
+and CRC32 sit among the biggest improvements (paper: 11.00 % and
+13.11 %); the tightly-ordered ADPCM codecs improve the least (paper:
+0.45 % / 0.71 %).""",
+    "policy-comparison": """\
+Extension (no table in the paper): §VII-C claims BEC-augmented
+scheduling is comparable to established value-level methods.  Measured:
+the bit-level policy matches or beats the value-level live-interval
+policy on most benchmarks and always beats the adversarial worst; on
+AES the greedy bit-level policy is slightly worse than value-level
+(greedy kill-count scheduling is not optimal — the paper's claim is
+comparability, not dominance, and that is what we observe).""",
+}
+
+
+def generate(experiments, names, path):
+    """Run *names* (in order) and write the report to *path*."""
+    sections = [PREAMBLE]
+    for name in names:
+        module = experiments[name]
+        start = time.perf_counter()
+        result = module.run_experiment()
+        elapsed = time.perf_counter() - start
+        title = module.__doc__.strip().splitlines()[0].rstrip(".")
+        sections.append(f"\n## {name}: {title}\n")
+        note = NOTES.get(name)
+        if note:
+            sections.append(note + "\n")
+        sections.append("```")
+        sections.append(module.render(result))
+        sections.append("```")
+        sections.append(f"*(regenerated in {elapsed:.1f} s)*\n")
+    report = "\n".join(sections)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    return report

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+
+def render_table(title, columns, rows):
+    """Render a list-of-dicts table; ``columns`` is a list of
+    ``(key, header, format)`` triples."""
+    lines = [title]
+    header_cells = [header for _, header, _ in columns]
+    widths = [len(cell) for cell in header_cells]
+    formatted_rows = []
+    for row in rows:
+        cells = []
+        for index, (key, _, fmt) in enumerate(columns):
+            value = row.get(key, "")
+            cell = format(value, fmt) if fmt else str(value)
+            widths[index] = max(widths[index], len(cell))
+            cells.append(cell)
+        formatted_rows.append(cells)
+    def line(cells):
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+    lines.append(line(header_cells))
+    lines.append(line(["-" * width for width in widths]))
+    for cells in formatted_rows:
+        lines.append(line(cells))
+    return "\n".join(lines)
+
+
+def format_bytes(count):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" \
+                else f"{count} {unit}"
+        count /= 1024
+    return f"{count:.1f} GiB"

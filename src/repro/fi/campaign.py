@@ -1,0 +1,149 @@
+"""Fault-injection campaign planners and runners.
+
+Three campaign granularities, matching the paper's comparison:
+
+* :func:`plan_exhaustive` — every bit of every register at every cycle
+  (the baseline of Table I);
+* :func:`plan_inject_on_read` — one injection per bit of each live
+  access window (value-level inject-on-read, the paper's "Live in
+  values" baseline for Table III);
+* :func:`plan_bec` — the pruned plan: one injection per non-masked
+  equivalence class per epoch ("Live in bits").
+
+:func:`run_campaign` executes a plan against the machine and classifies
+each run against the golden trace.
+"""
+
+import time
+from collections import namedtuple
+
+from repro.ir.liveness import compute_liveness
+from repro.fi.accounting import iter_bit_instances
+from repro.fi.machine import Injection, Machine
+from repro.fi.trace import OUTCOME_OK
+
+PlannedRun = namedtuple("PlannedRun", ["injection", "pp", "rep", "epoch"])
+
+#: Classification of one fault-injection run against the golden trace.
+EFFECT_MASKED = "masked"          # identical trace
+EFFECT_SDC = "sdc"                # silent data corruption (wrong output)
+EFFECT_TRAP = "trap"              # run trapped
+EFFECT_TIMEOUT = "timeout"        # run did not terminate in budget
+EFFECT_BENIGN = "benign-divergence"  # same outputs, different path
+
+
+def plan_exhaustive(function, trace, registers=None):
+    """Every (cycle, register, bit) of the register file (Table I)."""
+    registers = list(registers or function.registers())
+    width = function.bit_width
+    plan = []
+    for cycle, pp in enumerate(trace.executed):
+        for reg in registers:
+            for bit in range(width):
+                plan.append(PlannedRun(Injection(cycle, reg, bit), pp,
+                                       None, None))
+    return plan
+
+
+def plan_inject_on_read(function, trace, liveness=None):
+    """One injection per bit of each dynamic live window."""
+    liveness = liveness or compute_liveness(function)
+    width = function.bit_width
+    plan = []
+    for cycle, pp in enumerate(trace.executed):
+        for reg in liveness.live_windows(pp):
+            for bit in range(width):
+                plan.append(PlannedRun(Injection(cycle, reg, bit), pp,
+                                       None, None))
+    return plan
+
+
+def plan_bec(function, trace, bec):
+    """The BEC-pruned plan: only class-leader instances are injected."""
+    plan = []
+    for instance in iter_bit_instances(function, trace, bec):
+        if instance.emit:
+            plan.append(PlannedRun(
+                Injection(instance.cycle, instance.reg, instance.bit),
+                instance.pp, instance.rep, instance.epoch))
+    return plan
+
+
+class CampaignResult:
+    """Outcome of a campaign: per-run effects plus aggregate stats."""
+
+    def __init__(self, golden):
+        self.golden = golden
+        self.runs = []            # (PlannedRun, effect, signature)
+        self.wall_time = 0.0
+        self._distinct = {}
+
+    def record(self, planned, effect, signature, byte_size):
+        self.runs.append((planned, effect, signature))
+        if signature not in self._distinct:
+            self._distinct[signature] = byte_size
+
+    @property
+    def distinct_traces(self):
+        return len(self._distinct)
+
+    @property
+    def archived_bytes(self):
+        """Bytes needed to archive one copy of each distinguishable
+        trace (the paper's Table I disk-space column)."""
+        return sum(self._distinct.values())
+
+    def effect_counts(self):
+        counts = {}
+        for _, effect, _ in self.runs:
+            counts[effect] = counts.get(effect, 0) + 1
+        return counts
+
+    def vulnerable_runs(self):
+        """Runs whose trace differs from the golden trace."""
+        return sum(1 for _, effect, _ in self.runs
+                   if effect != EFFECT_MASKED)
+
+
+def classify_effect(golden, injected):
+    """Classify an injected trace against the golden one."""
+    if injected.same_as(golden):
+        return EFFECT_MASKED
+    if injected.outcome != OUTCOME_OK:
+        return EFFECT_TRAP if injected.outcome == "trap" else EFFECT_TIMEOUT
+    if injected.architectural_key() == golden.architectural_key():
+        return EFFECT_BENIGN
+    return EFFECT_SDC
+
+
+def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None):
+    """Execute every planned run; returns a :class:`CampaignResult`.
+
+    ``machine`` must wrap the same function the plan was made for; the
+    golden trace is recomputed unless supplied.
+    """
+    start = time.perf_counter()
+    if golden is None:
+        golden = machine.run(regs=regs)
+    if max_cycles is None:
+        max_cycles = max(4 * golden.cycles + 256, 1024)
+    result = CampaignResult(golden)
+    for planned in plan:
+        injected = machine.run(regs=regs, injection=planned.injection,
+                               max_cycles=max_cycles)
+        effect = classify_effect(golden, injected)
+        result.record(planned, effect, injected.signature(),
+                      injected.byte_size())
+    result.wall_time = time.perf_counter() - start
+    return result
+
+
+def golden_run(function, regs=None, memory_image=None, memory_size=1 << 16,
+               max_cycles=None):
+    """Convenience: build a machine and produce the golden trace."""
+    machine = Machine(function, memory_size=memory_size,
+                      memory_image=memory_image)
+    kwargs = {}
+    if max_cycles is not None:
+        kwargs["max_cycles"] = max_cycles
+    return machine, machine.run(regs=regs, **kwargs)

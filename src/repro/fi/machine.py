@@ -1,0 +1,311 @@
+"""ISA-level simulator for the IR (the reproduction's SPIKE).
+
+The machine executes one finalized function with a register file, a flat
+byte-addressed memory and a cycle counter (one instruction per cycle).
+It supports *single-event-upset* fault injection: a single bit of a
+register is flipped after a given dynamic cycle, exactly the model the
+paper uses for its campaigns (one fault per run, faults persist until
+overwritten).
+
+The interpreter is deliberately simple and bit-accurate; all arithmetic
+goes through :mod:`repro.ir.concrete`, the same definitions the static
+analyses use.
+"""
+
+from repro.errors import MachineTrap, SimulationError
+from repro.ir.concrete import alu, branch_taken, mask, unary
+from repro.ir.instructions import Format, Opcode
+from repro.ir.registers import ZERO
+from repro.fi.trace import OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP, Trace
+
+#: Default dynamic instruction budget per run.
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+class Injection:
+    """A single-event upset: flip *bit* of *reg* right after *cycle*.
+
+    ``cycle`` counts executed instructions; ``cycle=t`` flips the bit
+    after the instruction at trace position ``t`` completes, i.e. inside
+    the fault window that opens at that access.  ``cycle=-1`` flips the
+    bit before execution starts.
+    """
+
+    __slots__ = ("cycle", "reg", "bit")
+
+    def __init__(self, cycle, reg, bit):
+        if reg == ZERO:
+            raise SimulationError("the zero register has no fault sites")
+        self.cycle = cycle
+        self.reg = reg
+        self.bit = bit
+
+    def __repr__(self):
+        return f"Injection(cycle={self.cycle}, reg={self.reg!r}, bit={self.bit})"
+
+
+class MemoryInjection:
+    """A single-event upset in memory: flip bit *bit* of the word at
+    *address* right after *cycle* (same cycle convention as
+    :class:`Injection`; ``cycle=-1`` flips before execution starts).
+
+    ``bit`` indexes little-endian within the word starting at
+    *address*: bit 11 flips bit 3 of the byte at ``address + 1``.
+    The paper's model covers this case explicitly — "data points may
+    refer to memory cells if data in memory is modeled" (§II).
+    """
+
+    __slots__ = ("cycle", "address", "bit")
+
+    def __init__(self, cycle, address, bit):
+        if address < 0:
+            raise SimulationError("negative memory address")
+        if bit < 0:
+            raise SimulationError("negative bit index")
+        self.cycle = cycle
+        self.address = address
+        self.bit = bit
+
+    def __repr__(self):
+        return (f"MemoryInjection(cycle={self.cycle}, "
+                f"address={self.address}, bit={self.bit})")
+
+
+class Machine:
+    """Executable image of one function plus a memory."""
+
+    def __init__(self, function, memory_size=1 << 16, memory_image=None):
+        self.function = function
+        self.width = function.bit_width
+        self.memory_size = memory_size
+        self.memory_image = bytes(memory_image or b"")
+        if len(self.memory_image) > memory_size:
+            raise SimulationError("memory image larger than memory")
+        self._decode()
+
+    def _decode(self):
+        function = self.function
+        self._first_pp = {}
+        for block in function.blocks:
+            if block.instructions:
+                self._first_pp[block.label] = block.instructions[0].pp
+        program = []
+        total = len(function.instructions)
+        for instruction in function.instructions:
+            pp = instruction.pp
+            opcode = instruction.opcode
+            fmt = instruction.format
+            next_pp = pp + 1 if pp + 1 < total else None
+            if fmt is Format.BRANCH or fmt is Format.BRANCHZ:
+                target = self._first_pp[instruction.label]
+                program.append(("branch", opcode, instruction.rs1,
+                                instruction.rs2, target, next_pp))
+            elif fmt is Format.JUMP:
+                program.append(("jump", self._first_pp[instruction.label]))
+            elif opcode is Opcode.RET:
+                program.append(("ret", instruction.rs1))
+            elif opcode is Opcode.OUT:
+                program.append(("out", instruction.rs1, next_pp))
+            elif opcode is Opcode.LI:
+                program.append(("li", instruction.rd,
+                                instruction.imm & mask(self.width), next_pp))
+            elif fmt is Format.RR:
+                program.append(("unary", opcode, instruction.rd,
+                                instruction.rs1, next_pp))
+            elif fmt is Format.RRR:
+                program.append(("alu", opcode, instruction.rd,
+                                instruction.rs1, instruction.rs2, next_pp))
+            elif fmt is Format.RRI:
+                program.append(("alui", opcode, instruction.rd,
+                                instruction.rs1,
+                                instruction.imm & mask(self.width), next_pp))
+            elif instruction.is_load:
+                program.append(("load", opcode, instruction.rd,
+                                instruction.rs1, instruction.imm, next_pp))
+            elif instruction.is_store:
+                program.append(("store", opcode, instruction.rs2,
+                                instruction.rs1, instruction.imm, next_pp))
+            elif opcode is Opcode.NOP:
+                program.append(("nop", next_pp))
+            else:
+                raise SimulationError(f"cannot decode {instruction}")
+        self._program = program
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, regs=None, injection=None, max_cycles=DEFAULT_MAX_CYCLES,
+            record_executed=True, record_registers=False):
+        """Execute from the entry block; returns a :class:`Trace`.
+
+        ``regs`` provides initial register values (parameters).
+        ``injection``, if given, is a single :class:`Injection` /
+        :class:`MemoryInjection` or a sequence of them — multi-event
+        upsets model the double-bit flips that exceed EDAC's correction
+        capability (paper §I), each applied at its own cycle.  With
+        ``record_registers`` the trace carries one register-file
+        snapshot per executed instruction (taken right after it
+        completes, before any injection fires) — the oracle the
+        bit-value soundness fuzzer compares against.
+        """
+        width = self.width
+        value_mask = mask(width)
+        registers = {}
+        if regs:
+            for reg, value in regs.items():
+                registers[reg] = value & value_mask
+        memory = bytearray(self.memory_size)
+        memory[:len(self.memory_image)] = self.memory_image
+        program = self._program
+        trace = Trace()
+        executed = trace.executed
+        outputs = trace.outputs
+        stores = trace.stores
+        register_log = None
+        if record_registers:
+            register_log = trace.register_log = []
+
+        def apply_injection(upset):
+            if isinstance(upset, MemoryInjection):
+                target = upset.address + upset.bit // 8
+                if target < self.memory_size:
+                    memory[target] ^= 1 << (upset.bit % 8)
+            else:
+                registers[upset.reg] = (registers.get(upset.reg, 0)
+                                        ^ (1 << upset.bit)) & value_mask
+
+        if injection is None:
+            upsets = []
+        elif isinstance(injection, (list, tuple)):
+            upsets = sorted(injection, key=lambda upset: upset.cycle)
+        else:
+            upsets = [injection]
+        while upsets and upsets[0].cycle == -1:
+            apply_injection(upsets.pop(0))
+        inject_cycle = upsets[0].cycle if upsets else None
+
+        def read(reg):
+            if reg == ZERO:
+                return 0
+            try:
+                return registers[reg]
+            except KeyError:
+                # Reading a never-written register models an unknown
+                # power-on value; zero keeps runs deterministic.
+                return 0
+
+        pc = 0
+        cycle = 0
+        memory_size = self.memory_size
+        try:
+            while pc is not None:
+                if cycle >= max_cycles:
+                    trace.outcome = OUTCOME_TIMEOUT
+                    break
+                decoded = program[pc]
+                kind = decoded[0]
+                if record_executed:
+                    executed.append(pc)
+                if kind == "alu":
+                    _, opcode, rd, rs1, rs2, next_pp = decoded
+                    value = alu(opcode, read(rs1), read(rs2), width)
+                    if rd != ZERO:
+                        registers[rd] = value
+                    pc = next_pp
+                elif kind == "alui":
+                    _, opcode, rd, rs1, imm, next_pp = decoded
+                    value = alu(opcode, read(rs1), imm, width)
+                    if rd != ZERO:
+                        registers[rd] = value
+                    pc = next_pp
+                elif kind == "li":
+                    _, rd, imm, next_pp = decoded
+                    if rd != ZERO:
+                        registers[rd] = imm
+                    pc = next_pp
+                elif kind == "unary":
+                    _, opcode, rd, rs1, next_pp = decoded
+                    value = unary(opcode, read(rs1), width)
+                    if rd != ZERO:
+                        registers[rd] = value
+                    pc = next_pp
+                elif kind == "branch":
+                    _, opcode, rs1, rs2, target, next_pp = decoded
+                    b = read(rs2) if rs2 is not None else 0
+                    if branch_taken(opcode, read(rs1), b, width):
+                        pc = target
+                    else:
+                        pc = next_pp
+                elif kind == "jump":
+                    pc = decoded[1]
+                elif kind == "load":
+                    _, opcode, rd, base, offset, next_pp = decoded
+                    address = (read(base) + offset) & value_mask
+                    value = self._load(memory, memory_size, opcode, address)
+                    trace.loads.append(
+                        (cycle, pc, address,
+                         4 if opcode is Opcode.LW else 1, rd))
+                    if rd != ZERO:
+                        registers[rd] = value & value_mask
+                    pc = next_pp
+                elif kind == "store":
+                    _, opcode, src, base, offset, next_pp = decoded
+                    address = (read(base) + offset) & value_mask
+                    value = read(src)
+                    self._store(memory, memory_size, opcode, address, value)
+                    stores.append((address, value,
+                                   4 if opcode is Opcode.SW else 1))
+                    pc = next_pp
+                elif kind == "out":
+                    _, rs, next_pp = decoded
+                    outputs.append(read(rs))
+                    pc = next_pp
+                elif kind == "ret":
+                    rs = decoded[1]
+                    trace.returned = read(rs) if rs is not None else None
+                    cycle += 1
+                    if register_log is not None:
+                        register_log.append(dict(registers))
+                    if inject_cycle is not None and cycle - 1 == inject_cycle:
+                        pass  # flip after ret has no observable effect
+                    break
+                else:  # nop
+                    pc = decoded[1]
+                if register_log is not None:
+                    register_log.append(dict(registers))
+                cycle += 1
+                while inject_cycle is not None and cycle - 1 == inject_cycle:
+                    apply_injection(upsets.pop(0))
+                    inject_cycle = upsets[0].cycle if upsets else None
+        except MachineTrap as trap:
+            trace.outcome = OUTCOME_TRAP
+            trace.trap_kind = trap.kind
+        trace.cycles = cycle
+        if trace.outcome == OUTCOME_OK and pc is not None \
+                and cycle >= max_cycles:
+            trace.outcome = OUTCOME_TIMEOUT
+        return trace
+
+    @staticmethod
+    def _load(memory, size, opcode, address):
+        if opcode is Opcode.LW:
+            if address + 4 > size:
+                raise MachineTrap("load-oob", f"address {address}")
+            return int.from_bytes(memory[address:address + 4], "little")
+        if address >= size:
+            raise MachineTrap("load-oob", f"address {address}")
+        byte = memory[address]
+        if opcode is Opcode.LB and byte >= 0x80:
+            return byte | 0xFFFFFF00
+        return byte
+
+    @staticmethod
+    def _store(memory, size, opcode, address, value):
+        if opcode is Opcode.SW:
+            if address + 4 > size:
+                raise MachineTrap("store-oob", f"address {address}")
+            memory[address:address + 4] = (value & 0xFFFFFFFF).to_bytes(
+                4, "little")
+        else:
+            if address >= size:
+                raise MachineTrap("store-oob", f"address {address}")
+            memory[address] = value & 0xFF

@@ -1,0 +1,86 @@
+"""Execution traces.
+
+A :class:`Trace` is what the paper compares between a golden run and a
+fault-injection run: the sequence of executed instructions, the side
+effects (memory writes and ``out`` values), the observable outcome
+(return value, trap, or timeout).  Two fault sites are *observed* to be
+equivalent iff their injected traces are equal.
+
+Traces can be reduced to a compact :meth:`Trace.signature` so that
+exhaustive campaigns do not need to keep every trace in memory — this is
+the reproduction of the paper's "only distinguishable traces are
+archived" trick from §V / Table I.
+"""
+
+import hashlib
+import struct
+
+OUTCOME_OK = "ok"
+OUTCOME_TRAP = "trap"
+OUTCOME_TIMEOUT = "timeout"
+
+
+class Trace:
+    """Record of one (possibly fault-injected) program execution."""
+
+    __slots__ = ("executed", "outputs", "stores", "loads", "returned",
+                 "outcome", "trap_kind", "cycles", "register_log")
+
+    def __init__(self):
+        self.executed = []      # program points in execution order
+        self.outputs = []       # values passed to `out`
+        self.stores = []        # (address, value, size) in order
+        self.loads = []         # (cycle, pp, address, size, rd) in order;
+        #                         not part of the comparison key (loads
+        #                         are not architectural side effects)
+        self.returned = None    # return value (or None)
+        self.outcome = OUTCOME_OK
+        self.trap_kind = None
+        self.cycles = 0
+        self.register_log = None  # with record_registers: one register-
+        #                           file snapshot per executed instruction
+
+    def key(self):
+        """Full comparison key (everything observable)."""
+        return (tuple(self.executed), tuple(self.outputs),
+                tuple(self.stores), self.returned, self.outcome,
+                self.trap_kind)
+
+    def same_as(self, other):
+        """Trace equality in the paper's sense."""
+        return self.key() == other.key()
+
+    def architectural_key(self):
+        """Observable behaviour without the instruction path: outputs,
+        memory side effects and outcome.  Used to classify divergences."""
+        return (tuple(self.outputs), tuple(self.stores), self.returned,
+                self.outcome, self.trap_kind)
+
+    def signature(self):
+        """Stable 16-byte digest of :meth:`key` (for archiving)."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(struct.pack("<q", len(self.executed)))
+        for pp in self.executed:
+            digest.update(struct.pack("<i", pp))
+        digest.update(b"|outputs")
+        for value in self.outputs:
+            digest.update(struct.pack("<q", value))
+        digest.update(b"|stores")
+        for address, value, size in self.stores:
+            digest.update(struct.pack("<qqB", address, value, size))
+        digest.update(b"|ret")
+        digest.update(repr(self.returned).encode())
+        digest.update(self.outcome.encode())
+        digest.update((self.trap_kind or "").encode())
+        return digest.digest()
+
+    def byte_size(self):
+        """Approximate archived size of the full trace in bytes
+        (4 bytes per executed instruction plus side-effect records);
+        used by the Table I disk-space accounting."""
+        return (4 * len(self.executed) + 8 * len(self.outputs)
+                + 13 * len(self.stores) + 16)
+
+    def __repr__(self):
+        return (f"<Trace cycles={self.cycles} outcome={self.outcome} "
+                f"outputs={len(self.outputs)} ret={self.returned}>")

@@ -1,0 +1,116 @@
+"""Programmatic IR construction helper.
+
+Example::
+
+    b = IRBuilder("countYears", bit_width=4)
+    b.block("bb.entry")
+    b.li("v0", 0)
+    b.li("v1", 7)
+    b.block("bb.loop")
+    b.andi("v2", "v1", 1)
+    ...
+    b.bnez("v1", "bb.loop")
+    b.block("bb.exit")
+    b.ret("v0")
+    function = b.build()
+
+Each opcode mnemonic is available as a method; operands follow the
+assembly operand order.
+"""
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.instructions import Format, Instruction, Opcode, _FORMATS
+
+
+class IRBuilder:
+    def __init__(self, name, bit_width=32, params=()):
+        self._function = Function(name, bit_width=bit_width, params=params)
+        self._current = None
+        self._built = False
+
+    def block(self, label):
+        """Start (and switch to) a new basic block."""
+        self._current = self._function.new_block(label)
+        return self
+
+    def emit(self, instruction):
+        """Append an already-constructed instruction."""
+        if self._current is None:
+            raise IRError("emit before any block() call")
+        self._current.append(instruction)
+        return instruction
+
+    def build(self, validate=True):
+        """Finalize and (optionally) validate; returns the Function."""
+        if self._built:
+            raise IRError("build() called twice")
+        self._built = True
+        self._function.finalize()
+        if validate:
+            from repro.ir.validate import validate_function
+            validate_function(self._function)
+        return self._function
+
+    def __getattr__(self, name):
+        try:
+            opcode = Opcode(name)
+        except ValueError:
+            raise AttributeError(name) from None
+        fmt = _FORMATS[opcode]
+
+        def emit_op(*operands):
+            self.emit(_make(opcode, fmt, operands))
+            return self
+
+        emit_op.__name__ = name
+        return emit_op
+
+
+def _make(opcode, fmt, operands):
+    count = {
+        Format.RRR: 3, Format.RRI: 3, Format.RR: 2, Format.RI: 2,
+        Format.BRANCH: 3, Format.BRANCHZ: 2, Format.JUMP: 1,
+        Format.OUT: 1, Format.NOP: 0,
+    }
+    if fmt is Format.LOAD:
+        if len(operands) not in (2, 3):
+            raise IRError(f"{opcode.value}: expected rd, base[, offset]")
+        rd, base = operands[0], operands[1]
+        offset = operands[2] if len(operands) == 3 else 0
+        return Instruction(opcode, rd=rd, rs1=base, imm=offset)
+    if fmt is Format.STORE:
+        if len(operands) not in (2, 3):
+            raise IRError(f"{opcode.value}: expected src, base[, offset]")
+        src, base = operands[0], operands[1]
+        offset = operands[2] if len(operands) == 3 else 0
+        return Instruction(opcode, rs2=src, rs1=base, imm=offset)
+    if fmt is Format.RET:
+        if len(operands) > 1:
+            raise IRError("ret: expected at most one operand")
+        return Instruction(opcode, rs1=operands[0] if operands else None)
+    expected = count[fmt]
+    if len(operands) != expected:
+        raise IRError(
+            f"{opcode.value}: expected {expected} operands, "
+            f"got {len(operands)}")
+    if fmt is Format.RRR:
+        return Instruction(opcode, rd=operands[0], rs1=operands[1],
+                           rs2=operands[2])
+    if fmt is Format.RRI:
+        return Instruction(opcode, rd=operands[0], rs1=operands[1],
+                           imm=operands[2])
+    if fmt is Format.RR:
+        return Instruction(opcode, rd=operands[0], rs1=operands[1])
+    if fmt is Format.RI:
+        return Instruction(opcode, rd=operands[0], imm=operands[1])
+    if fmt is Format.BRANCH:
+        return Instruction(opcode, rs1=operands[0], rs2=operands[1],
+                           label=operands[2])
+    if fmt is Format.BRANCHZ:
+        return Instruction(opcode, rs1=operands[0], label=operands[1])
+    if fmt is Format.JUMP:
+        return Instruction(opcode, label=operands[0])
+    if fmt is Format.OUT:
+        return Instruction(opcode, rs1=operands[0])
+    return Instruction(opcode)

@@ -1,0 +1,150 @@
+"""Bit-accurate concrete semantics of the ALU opcodes.
+
+All values are Python ints in ``[0, 2**width)`` (the raw register image).
+Signed operations reinterpret the same bits in two's complement, exactly
+as the RISC-V spec does.  Division and remainder follow the RISC-V M
+extension corner cases (division by zero and signed overflow do not trap).
+
+These functions are shared by the ISA simulator (:mod:`repro.fi.machine`)
+and by the partial evaluator behind the paper's ``eval`` coalescing rule
+(:mod:`repro.bec.intra`), so a single definition of the semantics backs
+both the dynamic and the static side of the reproduction.
+"""
+
+from repro.errors import IRError
+from repro.ir.instructions import Opcode
+
+
+def mask(width):
+    """All-ones register image at *width*."""
+    return (1 << width) - 1
+
+
+def truncate(value, width):
+    """Interpret *value* modulo the register width."""
+    return value & mask(width)
+
+
+def to_signed(value, width):
+    """Two's-complement reinterpretation of a raw register image."""
+    value = truncate(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value, width):
+    """Raw register image of a (possibly negative) Python int."""
+    return value & mask(width)
+
+
+def _shamt(amount, width):
+    # RISC-V uses the low log2(width) bits of the shift operand.
+    return amount & (width - 1)
+
+
+def _div_signed(a, b, width):
+    if b == 0:
+        return mask(width)                       # all ones == -1
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    min_int = -(1 << (width - 1))
+    if sa == min_int and sb == -1:               # signed overflow
+        return to_unsigned(min_int, width)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_unsigned(quotient, width)
+
+
+def _rem_signed(a, b, width):
+    if b == 0:
+        return a
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    min_int = -(1 << (width - 1))
+    if sa == min_int and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return to_unsigned(remainder, width)
+
+
+def alu(opcode, a, b, width):
+    """Evaluate a binary ALU *opcode* on raw register images ``a, b``.
+
+    ``b`` is the second source (register or width-masked immediate).
+    Returns the raw result image.  Comparison opcodes return 0 or 1.
+    """
+    m = mask(width)
+    a &= m
+    b &= m
+    if opcode in (Opcode.ADD, Opcode.ADDI):
+        return (a + b) & m
+    if opcode is Opcode.SUB:
+        return (a - b) & m
+    if opcode in (Opcode.AND, Opcode.ANDI):
+        return a & b
+    if opcode in (Opcode.OR, Opcode.ORI):
+        return a | b
+    if opcode in (Opcode.XOR, Opcode.XORI):
+        return a ^ b
+    if opcode in (Opcode.SLL, Opcode.SLLI):
+        return (a << _shamt(b, width)) & m
+    if opcode in (Opcode.SRL, Opcode.SRLI):
+        return a >> _shamt(b, width)
+    if opcode in (Opcode.SRA, Opcode.SRAI):
+        return to_unsigned(to_signed(a, width) >> _shamt(b, width), width)
+    if opcode in (Opcode.SLT, Opcode.SLTI):
+        return 1 if to_signed(a, width) < to_signed(b, width) else 0
+    if opcode in (Opcode.SLTU, Opcode.SLTIU):
+        return 1 if a < b else 0
+    if opcode is Opcode.MUL:
+        return (a * b) & m
+    if opcode is Opcode.MULHU:
+        return ((a * b) >> width) & m
+    if opcode is Opcode.DIV:
+        return _div_signed(a, b, width)
+    if opcode is Opcode.DIVU:
+        return m if b == 0 else a // b
+    if opcode is Opcode.REM:
+        return _rem_signed(a, b, width)
+    if opcode is Opcode.REMU:
+        return a if b == 0 else a % b
+    raise IRError(f"not a binary ALU opcode: {opcode.value}")
+
+
+def unary(opcode, a, width):
+    """Evaluate a unary (RR-format) pseudo-opcode."""
+    m = mask(width)
+    a &= m
+    if opcode is Opcode.MV:
+        return a
+    if opcode is Opcode.NOT:
+        return a ^ m
+    if opcode is Opcode.NEG:
+        return (-a) & m
+    if opcode is Opcode.SEQZ:
+        return 1 if a == 0 else 0
+    if opcode is Opcode.SNEZ:
+        return 1 if a != 0 else 0
+    raise IRError(f"not a unary opcode: {opcode.value}")
+
+
+def branch_taken(opcode, a, b, width):
+    """Whether a conditional branch is taken for raw images ``a, b``.
+
+    The ``z``-form branches pass ``b = 0``.
+    """
+    if opcode in (Opcode.BEQ, Opcode.BEQZ):
+        return a == b
+    if opcode in (Opcode.BNE, Opcode.BNEZ):
+        return a != b
+    if opcode is Opcode.BLT:
+        return to_signed(a, width) < to_signed(b, width)
+    if opcode is Opcode.BGE:
+        return to_signed(a, width) >= to_signed(b, width)
+    if opcode is Opcode.BLTU:
+        return (a & mask(width)) < (b & mask(width))
+    if opcode is Opcode.BGEU:
+        return (a & mask(width)) >= (b & mask(width))
+    raise IRError(f"not a conditional branch: {opcode.value}")

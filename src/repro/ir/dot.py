@@ -1,0 +1,63 @@
+"""Graphviz DOT export for CFGs and data-dependency graphs.
+
+Visual aids for debugging analyses and for documentation; the output is
+plain DOT text, no graphviz dependency.  Optionally annotates CFG nodes
+with per-instruction fault-surface counts from a BEC analysis, which
+makes the scheduling use case visible at a glance.
+"""
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(function, bec=None):
+    """Render the function's CFG as DOT.
+
+    Each block is one record node listing its instructions (prefixed by
+    program point).  With *bec*, every instruction line is annotated
+    with the number of unmasked bits over its accessed windows — the
+    quantity the reliability scheduler minimizes.
+    """
+    lines = [f'digraph "{_escape(function.name)}" {{',
+             '    node [shape=box, fontname="monospace"];']
+    for block in function.blocks:
+        rows = [f"{block.label}:"]
+        for instruction in block.instructions:
+            row = f"p{instruction.pp}: {instruction}"
+            if bec is not None:
+                unmasked = sum(
+                    bec.unmasked_bits(instruction.pp, reg)
+                    for reg in instruction.data_accesses()
+                    if bec.fault_space.has_site(instruction.pp, reg))
+                row += f"   [{unmasked}b]"
+            rows.append(row)
+        label = "\\l".join(_escape(row) for row in rows) + "\\l"
+        lines.append(f'    "{_escape(block.label)}" [label="{label}"];')
+    for block in function.blocks:
+        for successor in block.succs:
+            lines.append(f'    "{_escape(block.label)}" -> '
+                         f'"{_escape(successor.label)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def ddg_to_dot(block, graph=None):
+    """Render one basic block's data-dependency graph as DOT.
+
+    *graph* is a :class:`repro.sched.ddg.DependencyGraph`; it is built
+    on demand when omitted.
+    """
+    if graph is None:
+        from repro.sched.ddg import DependencyGraph
+        graph = DependencyGraph(block)
+    lines = [f'digraph "ddg_{_escape(block.label)}" {{',
+             '    node [shape=box, fontname="monospace"];']
+    for index, instruction in enumerate(block.instructions):
+        lines.append(
+            f'    n{index} [label="{_escape(str(instruction))}"];')
+    for index, successors in enumerate(graph.successors):
+        for successor in sorted(successors):
+            lines.append(f"    n{index} -> n{successor};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

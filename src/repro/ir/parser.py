@@ -1,0 +1,164 @@
+"""Parser for the textual IR.
+
+The syntax mirrors the paper's listings::
+
+    func countYears width=4 params=
+    bb.entry:
+        li v0, 0
+        li v1, 7
+    bb.loop:
+        andi v2, v1, 1
+        ...
+        bnez v1, bb.loop
+    bb.exit:
+        ret v0
+
+Rules:
+
+* ``func NAME [width=N] [params=r1,r2,...]`` starts a function.
+* A line ending in ``:`` starts a basic block.
+* ``#`` starts a comment.
+* Immediates may be decimal (possibly negative) or hex (``0x...``).
+* Loads/stores use ``lw rd, imm(rs1)`` / ``sw rs2, imm(rs1)``.
+"""
+
+import re
+
+from repro.errors import ParseError
+from repro.ir.function import Function
+from repro.ir.instructions import Format, Instruction, opcode_from_name
+
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((\w+)\)$")
+
+
+def _parse_imm(text, line_no):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ParseError(f"bad immediate {text!r}", line=line_no) from None
+
+
+def _split_operands(rest):
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def parse_instruction(text, line_no=None):
+    """Parse a single instruction line into an :class:`Instruction`."""
+    parts = text.split(None, 1)
+    opcode = opcode_from_name(parts[0])
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+    fmt = Format
+
+    def need(count):
+        if len(operands) != count:
+            raise ParseError(
+                f"{opcode.value}: expected {count} operands, "
+                f"got {len(operands)}", line=line_no)
+
+    from repro.ir.instructions import _FORMATS  # table is private on purpose
+    kind = _FORMATS[opcode]
+    if kind is fmt.RRR:
+        need(3)
+        return Instruction(opcode, rd=operands[0], rs1=operands[1],
+                           rs2=operands[2])
+    if kind is fmt.RRI:
+        need(3)
+        return Instruction(opcode, rd=operands[0], rs1=operands[1],
+                           imm=_parse_imm(operands[2], line_no))
+    if kind is fmt.RR:
+        need(2)
+        return Instruction(opcode, rd=operands[0], rs1=operands[1])
+    if kind is fmt.RI:
+        need(2)
+        return Instruction(opcode, rd=operands[0],
+                           imm=_parse_imm(operands[1], line_no))
+    if kind in (fmt.LOAD, fmt.STORE):
+        need(2)
+        match = _MEM_RE.match(operands[1].replace(" ", ""))
+        if not match:
+            raise ParseError(
+                f"{opcode.value}: expected imm(reg), got {operands[1]!r}",
+                line=line_no)
+        offset = _parse_imm(match.group(1), line_no)
+        base = match.group(2)
+        if kind is fmt.LOAD:
+            return Instruction(opcode, rd=operands[0], rs1=base, imm=offset)
+        return Instruction(opcode, rs2=operands[0], rs1=base, imm=offset)
+    if kind is fmt.BRANCH:
+        need(3)
+        return Instruction(opcode, rs1=operands[0], rs2=operands[1],
+                           label=operands[2])
+    if kind is fmt.BRANCHZ:
+        need(2)
+        return Instruction(opcode, rs1=operands[0], label=operands[1])
+    if kind is fmt.JUMP:
+        need(1)
+        return Instruction(opcode, label=operands[0])
+    if kind is fmt.RET:
+        if len(operands) not in (0, 1):
+            raise ParseError("ret: expected 0 or 1 operands", line=line_no)
+        return Instruction(opcode, rs1=operands[0] if operands else None)
+    if kind is fmt.OUT:
+        need(1)
+        return Instruction(opcode, rs1=operands[0])
+    need(0)
+    return Instruction(opcode)
+
+
+_FUNC_RE = re.compile(r"^func\s+(\w+)((?:\s+\w+=\S*)*)\s*$")
+
+
+def parse_function(source):
+    """Parse one textual function; returns a finalized :class:`Function`."""
+    functions = parse_module(source)
+    if len(functions) != 1:
+        raise ParseError(
+            f"expected exactly one function, found {len(functions)}")
+    return functions[0]
+
+
+def parse_module(source):
+    """Parse any number of textual functions from *source*."""
+    functions = []
+    function = None
+    block = None
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("func"):
+            match = _FUNC_RE.match(line)
+            if not match:
+                raise ParseError(f"bad func header: {line!r}", line=line_no)
+            name = match.group(1)
+            width = 32
+            params = ()
+            for option in match.group(2).split():
+                key, _, value = option.partition("=")
+                if key == "width":
+                    width = _parse_imm(value, line_no)
+                elif key == "params":
+                    params = tuple(p for p in value.split(",") if p)
+                else:
+                    raise ParseError(f"unknown option {key!r}", line=line_no)
+            function = Function(name, bit_width=width, params=params)
+            functions.append(function)
+            block = None
+            continue
+        if function is None:
+            raise ParseError("instruction outside function", line=line_no)
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label:
+                raise ParseError("empty block label", line=line_no)
+            block = function.new_block(label)
+            continue
+        if block is None:
+            raise ParseError(
+                "instruction before first block label", line=line_no)
+        block.append(parse_instruction(line, line_no))
+    for parsed in functions:
+        parsed.finalize()
+    return functions

@@ -1,0 +1,245 @@
+"""Deterministic random IR program generator for differential testing.
+
+The paper validates BEC empirically by exhaustive fault injection on a
+handful of benchmarks (§V).  A reproduction can go further: generate
+*arbitrary* well-formed programs and check the analyses against the
+simulator on each one.  This module produces such programs.
+
+Generated programs are structured (straight-line segments, if/else
+diamonds, counted loops), which guarantees three properties the fuzz
+harness depends on:
+
+* **validity** — every register read is defined on all paths, so
+  :func:`repro.ir.validate.validate_function` accepts the output;
+* **termination** — loops count a dedicated register down from a small
+  constant and nothing inside a loop body may touch its counter;
+* **determinism** — the same seed always yields the same program.
+
+Programs may include masked-address loads and stores so that the memory
+path of the simulator and the scheduler's memory dependencies are
+exercised; addresses are masked into a small aligned window, so no run
+can trap.
+"""
+
+import random
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.registers import ZERO
+
+#: Opcode pools by shape.  div/rem are included: the ISA defines
+#: division by zero (no trap), so any operand values are safe.
+_RRR_OPCODES = (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SLTU,
+    Opcode.MUL, Opcode.DIVU, Opcode.REMU,
+)
+_RRI_OPCODES = (
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI, Opcode.SLTIU,
+)
+_RR_OPCODES = (Opcode.MV, Opcode.NOT, Opcode.NEG, Opcode.SEQZ, Opcode.SNEZ)
+_BRANCH_OPCODES = (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                   Opcode.BLTU, Opcode.BGEU)
+_BRANCHZ_OPCODES = (Opcode.BEQZ, Opcode.BNEZ)
+_SHIFT_OPCODES = frozenset({Opcode.SLLI, Opcode.SRLI, Opcode.SRAI})
+
+
+class GeneratorConfig:
+    """Tunables for :func:`generate_function`.
+
+    The defaults produce compact programs (tens of instructions, traces
+    of at most a few hundred cycles) that an exhaustive fault-injection
+    validation can sweep in well under a second.
+    """
+
+    def __init__(self, width=8, registers=5, params=1, structures=3,
+                 max_ops=4, max_loop_iterations=3, max_depth=2,
+                 memory_ops=True, memory_window=64):
+        if registers < 2:
+            raise ValueError("need at least two registers")
+        if width < 2:
+            raise ValueError("width must be at least 2")
+        self.width = width
+        self.registers = registers
+        self.params = min(params, registers)
+        self.structures = structures
+        self.max_ops = max_ops
+        self.max_loop_iterations = max_loop_iterations
+        self.max_depth = max_depth
+        self.memory_ops = memory_ops
+        self.memory_window = memory_window
+
+
+class _Generator:
+    def __init__(self, rng, config):
+        self.rng = rng
+        self.config = config
+        self.pool = [f"r{i}" for i in range(config.registers)]
+        self.params = tuple(self.pool[:config.params])
+        self.function = Function("fuzz", bit_width=config.width,
+                                 params=self.params)
+        self.block_count = 0
+        self.loop_counters = set()   # reserved while their loop is open
+        self.address_reg = "addr"    # scratch, never in the ALU pool
+
+    # -- low-level helpers ------------------------------------------------------
+
+    def new_label(self):
+        self.block_count += 1
+        return f"bb.b{self.block_count}"
+
+    def pick_reg(self, defined):
+        return self.rng.choice(sorted(defined))
+
+    def pick_target(self):
+        candidates = [reg for reg in self.pool
+                      if reg not in self.loop_counters]
+        return self.rng.choice(candidates)
+
+    def immediate(self, opcode):
+        if opcode in _SHIFT_OPCODES:
+            return self.rng.randrange(self.config.width)
+        return self.rng.randrange(-8, 256)
+
+    # -- code emission -----------------------------------------------------------
+
+    def emit_ops(self, block, defined, count):
+        """Append *count* random side-effect-free-ish ops to *block*.
+
+        Every register written is added to *defined* (straight-line code
+        defines on all paths through it).
+        """
+        for _ in range(count):
+            shape = self.rng.random()
+            target = self.pick_target()
+            if shape < 0.10:
+                block.append(Instruction(
+                    Opcode.LI, rd=target,
+                    imm=self.rng.randrange(0, 1 << self.config.width)))
+            elif shape < 0.45:
+                opcode = self.rng.choice(_RRI_OPCODES)
+                block.append(Instruction(
+                    opcode, rd=target, rs1=self.pick_reg(defined),
+                    imm=self.immediate(opcode)))
+            elif shape < 0.75:
+                block.append(Instruction(
+                    self.rng.choice(_RRR_OPCODES), rd=target,
+                    rs1=self.pick_reg(defined),
+                    rs2=self.pick_reg(defined)))
+            elif shape < 0.90 or not self.config.memory_ops:
+                block.append(Instruction(
+                    self.rng.choice(_RR_OPCODES), rd=target,
+                    rs1=self.pick_reg(defined)))
+            else:
+                self.emit_memory_op(block, defined, target)
+            defined.add(target)
+
+    def emit_memory_op(self, block, defined, target):
+        """A masked-address load or store (never traps, 4-aligned)."""
+        window_mask = (self.config.memory_window - 1) & ~3
+        block.append(Instruction(
+            Opcode.ANDI, rd=self.address_reg,
+            rs1=self.pick_reg(defined), imm=window_mask))
+        if self.rng.random() < 0.5:
+            block.append(Instruction(
+                Opcode.LW, rd=target, rs1=self.address_reg, imm=0))
+        else:
+            block.append(Instruction(
+                Opcode.SW, rs2=self.pick_reg(defined),
+                rs1=self.address_reg, imm=0))
+            block.append(Instruction(
+                Opcode.MV, rd=target, rs1=self.pick_reg(defined)))
+
+    # -- structured control flow ----------------------------------------------------
+
+    def emit_body(self, block, defined, depth, structures):
+        """Emit *structures* constructs; returns the block construction
+        continues in (control-flow constructs open new blocks)."""
+        for _ in range(structures):
+            choice = self.rng.random()
+            self.emit_ops(block, defined,
+                          1 + self.rng.randrange(self.config.max_ops))
+            if depth >= self.config.max_depth:
+                continue
+            if choice < 0.35:
+                block = self.emit_diamond(block, defined, depth)
+            elif choice < 0.60:
+                block = self.emit_loop(block, defined, depth)
+        return block
+
+    def emit_diamond(self, block, defined, depth):
+        """An if/else join; arm-local definitions stay arm-local."""
+        then_label, else_label = self.new_label(), self.new_label()
+        join_label = self.new_label()
+        if self.rng.random() < 0.5:
+            block.append(Instruction(
+                self.rng.choice(_BRANCHZ_OPCODES),
+                rs1=self.pick_reg(defined), label=then_label))
+        else:
+            block.append(Instruction(
+                self.rng.choice(_BRANCH_OPCODES),
+                rs1=self.pick_reg(defined), rs2=self.pick_reg(defined),
+                label=then_label))
+        else_block = self.function.new_block(else_label)
+        else_defined = set(defined)
+        inner = self.emit_body(else_block, else_defined, depth + 1, 1)
+        inner.append(Instruction(Opcode.J, label=join_label))
+        then_block = self.function.new_block(then_label)
+        then_defined = set(defined)
+        inner = self.emit_body(then_block, then_defined, depth + 1, 1)
+        # then falls through into the join.
+        join_block = self.function.new_block(join_label)
+        # Registers defined in *both* arms are defined at the join.
+        defined |= (then_defined & else_defined)
+        return join_block
+
+    def emit_loop(self, block, defined, depth):
+        """A counted do-while loop; always executes at least once."""
+        counter = f"c{self.block_count}"
+        body_label, after_label = self.new_label(), self.new_label()
+        iterations = 1 + self.rng.randrange(self.config.max_loop_iterations)
+        block.append(Instruction(Opcode.LI, rd=counter, imm=iterations))
+        body = self.function.new_block(body_label)
+        self.loop_counters.add(counter)
+        inner = self.emit_body(body, defined, depth + 1, 1)
+        self.loop_counters.discard(counter)
+        inner.append(Instruction(Opcode.ADDI, rd=counter, rs1=counter,
+                                 imm=-1))
+        inner.append(Instruction(Opcode.BNEZ, rs1=counter,
+                                 label=body_label))
+        return self.function.new_block(after_label)
+
+    # -- top level -----------------------------------------------------------------
+
+    def generate(self):
+        config = self.config
+        entry = self.function.new_block("bb.entry")
+        defined = set(self.params)
+        for reg in self.pool:
+            if reg in defined:
+                continue
+            entry.append(Instruction(
+                Opcode.LI, rd=reg,
+                imm=self.rng.randrange(0, 1 << config.width)))
+            defined.add(reg)
+        block = self.emit_body(entry, defined, 0, config.structures)
+        for _ in range(self.rng.randrange(1, 3)):
+            block.append(Instruction(Opcode.OUT,
+                                     rs1=self.pick_reg(defined)))
+        block.append(Instruction(Opcode.RET, rs1=self.pick_reg(defined)))
+        self.function.compact()
+        return self.function.finalize()
+
+
+def generate_function(seed, config=None):
+    """Generate a valid, terminating random function from *seed*."""
+    config = config or GeneratorConfig()
+    return _Generator(random.Random(seed), config).generate()
+
+
+def random_inputs(seed, function):
+    """Deterministic random initial values for the function's params."""
+    rng = random.Random(seed ^ 0x5EED)
+    limit = 1 << function.bit_width
+    return {param: rng.randrange(limit) for param in function.params}

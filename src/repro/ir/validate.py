@@ -1,0 +1,50 @@
+"""IR validation beyond the structural checks done by ``finalize``.
+
+Checks that analyses rely on:
+
+* every branch target exists (finalize already guarantees this);
+* no read of a register that may be undefined on some path (unless it is
+  a declared parameter);
+* block labels are unique (guaranteed by construction) and every block is
+  reachable from the entry.
+"""
+
+from repro.errors import IRError
+from repro.ir.liveness import compute_liveness
+
+
+def reachable_blocks(function):
+    """Labels of blocks reachable from the entry block."""
+    seen = set()
+    stack = [function.entry]
+    while stack:
+        block = stack.pop()
+        if block.label in seen:
+            continue
+        seen.add(block.label)
+        stack.extend(block.succs)
+    return seen
+
+
+def validate_function(function, allow_unreachable=False):
+    """Raise :class:`IRError` on invalid IR; returns the function."""
+    if not function.blocks:
+        raise IRError(f"{function.name}: no blocks")
+    reachable = reachable_blocks(function)
+    if not allow_unreachable:
+        unreachable = [b.label for b in function.blocks
+                       if b.label not in reachable]
+        if unreachable:
+            raise IRError(
+                f"{function.name}: unreachable blocks: {unreachable}")
+    liveness = compute_liveness(function)
+    live_in_entry = liveness.block_live_in[function.entry.label]
+    undefined = live_in_entry - set(function.params)
+    if undefined:
+        raise IRError(
+            f"{function.name}: registers possibly read before definition: "
+            f"{sorted(undefined)} (declare them as params if intended)")
+    for block in function.blocks:
+        if block.label in reachable and not block.instructions:
+            raise IRError(f"{function.name}: empty block {block.label!r}")
+    return function

@@ -1,0 +1,16 @@
+"""Mini-C compiler: the source language of the evaluation benchmarks."""
+
+from repro.minic.compiler import CompiledProgram, compile_source
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse_source
+from repro.minic.regalloc import allocate_registers
+from repro.minic.sema import analyze
+
+__all__ = [
+    "CompiledProgram",
+    "allocate_registers",
+    "analyze",
+    "compile_source",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,209 @@
+"""AST node definitions for mini-C.
+
+Nodes are plain classes with positional fields and a ``line`` attribute
+for diagnostics.  The semantic analyzer annotates expression nodes with
+a ``type`` attribute (one of the :class:`Type` singletons).
+"""
+
+
+class Type:
+    """A mini-C type.  Scalars are 32-bit; ``byte`` is the 8-bit storage
+    type of byte arrays (it widens to ``uint`` when loaded)."""
+
+    def __init__(self, name, signed, size):
+        self.name = name
+        self.signed = signed
+        self.size = size          # storage size in bytes
+
+    def __repr__(self):
+        return f"<Type {self.name}>"
+
+
+INT = Type("int", signed=True, size=4)
+UINT = Type("uint", signed=False, size=4)
+BYTE = Type("byte", signed=False, size=1)
+VOID = Type("void", signed=False, size=0)
+
+TYPES_BY_NAME = {"int": INT, "uint": UINT, "byte": BYTE, "void": VOID}
+
+
+class Node:
+    line = None
+
+    def __repr__(self):
+        fields = ", ".join(
+            f"{key}={value!r}" for key, value in vars(self).items()
+            if key != "line")
+        return f"{type(self).__name__}({fields})"
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+class Program(Node):
+    def __init__(self, globals_, functions, line=None):
+        self.globals = globals_          # list[GlobalDecl]
+        self.functions = functions       # list[FunctionDef]
+        self.line = line
+
+
+class GlobalDecl(Node):
+    def __init__(self, type_, name, array_size, initializer, line=None):
+        self.type = type_
+        self.name = name
+        self.array_size = array_size     # None for scalars (int expr)
+        self.initializer = initializer   # expr | list[expr] | None
+        self.line = line
+
+
+class FunctionDef(Node):
+    def __init__(self, return_type, name, params, body, line=None):
+        self.return_type = return_type
+        self.name = name
+        self.params = params             # list[(Type, name)]
+        self.body = body                 # Block
+        self.line = line
+
+
+# -- statements -----------------------------------------------------------------------
+
+
+class Block(Node):
+    def __init__(self, statements, line=None):
+        self.statements = statements
+        self.line = line
+
+
+class LocalDecl(Node):
+    def __init__(self, type_, name, array_size, initializer, line=None):
+        self.type = type_
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer   # expr | list[expr] | None
+        self.line = line
+
+
+class Assign(Node):
+    def __init__(self, target, op, value, line=None):
+        self.target = target             # Name or Index
+        self.op = op                     # "=", "+=", ...
+        self.value = value
+        self.line = line
+
+
+class If(Node):
+    def __init__(self, condition, then_body, else_body, line=None):
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+        self.line = line
+
+
+class While(Node):
+    def __init__(self, condition, body, line=None):
+        self.condition = condition
+        self.body = body
+        self.line = line
+
+
+class DoWhile(Node):
+    def __init__(self, body, condition, line=None):
+        self.body = body
+        self.condition = condition
+        self.line = line
+
+
+class For(Node):
+    def __init__(self, init, condition, step, body, line=None):
+        self.init = init                 # stmt or None
+        self.condition = condition       # expr or None
+        self.step = step                 # stmt or None
+        self.body = body
+        self.line = line
+
+
+class Return(Node):
+    def __init__(self, value, line=None):
+        self.value = value               # expr or None
+        self.line = line
+
+
+class Break(Node):
+    def __init__(self, line=None):
+        self.line = line
+
+
+class Continue(Node):
+    def __init__(self, line=None):
+        self.line = line
+
+
+class Out(Node):
+    def __init__(self, value, line=None):
+        self.value = value
+        self.line = line
+
+
+class ExprStatement(Node):
+    def __init__(self, expr, line=None):
+        self.expr = expr
+        self.line = line
+
+
+# -- expressions ---------------------------------------------------------------------------
+
+
+class Number(Node):
+    def __init__(self, value, line=None):
+        self.value = value
+        self.line = line
+
+
+class Name(Node):
+    def __init__(self, name, line=None):
+        self.name = name
+        self.line = line
+
+
+class Index(Node):
+    def __init__(self, array, index, line=None):
+        self.array = array               # Name
+        self.index = index
+        self.line = line
+
+
+class Unary(Node):
+    def __init__(self, op, operand, line=None):
+        self.op = op                     # "-", "~", "!"
+        self.operand = operand
+        self.line = line
+
+
+class Binary(Node):
+    def __init__(self, op, left, right, line=None):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.line = line
+
+
+class Conditional(Node):
+    def __init__(self, condition, then_value, else_value, line=None):
+        self.condition = condition
+        self.then_value = then_value
+        self.else_value = else_value
+        self.line = line
+
+
+class Cast(Node):
+    def __init__(self, type_, operand, line=None):
+        self.type_to = type_
+        self.operand = operand
+        self.line = line
+
+
+class Call(Node):
+    def __init__(self, name, args, line=None):
+        self.name = name
+        self.args = args
+        self.line = line

@@ -1,0 +1,711 @@
+"""Code generation: annotated mini-C AST -> IR with virtual registers.
+
+Decisions that matter for the downstream analyses:
+
+* **All calls are inlined.**  The BEC analysis is intra-procedural (the
+  paper runs per machine function); inlining produces one self-contained
+  function per benchmark without modelling a call convention.  Recursion
+  is rejected by semantic analysis.
+* **Globals and arrays live in a static data segment** starting at
+  address 0, accessed as ``lw rd, addr(zero)`` / indexed via a shifted
+  register.  Array contents from global initializers are placed in the
+  memory image; local array initializers emit explicit stores.
+* **Signedness** follows the declared types: ``int`` uses ``div/rem``,
+  ``sra`` and ``slt``; ``uint`` uses ``divu/remu``, ``srl`` and ``sltu``.
+  ``byte`` arrays load zero-extended (``lbu``) and store with ``sb``.
+* **Short-circuit** ``&&``/``||`` and the conditional operator compile
+  to control flow, like a real C compiler at ``-O0``..``-O1``.
+* Comparisons feeding ``if``/``while`` conditions fuse into conditional
+  branches (``blt``/``bge``/...), which is what gives the BEC eval rule
+  realistic branch shapes to work on.
+"""
+
+from repro.errors import SemanticError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.registers import ZERO
+from repro.minic import ast
+from repro.minic.ast import BYTE, INT, UINT, VOID
+
+_WORD = 4
+
+
+class _Storage:
+    """Where a mini-C variable lives."""
+
+    SCALAR_REG = "reg"        # value in a virtual register
+    GLOBAL_SCALAR = "gmem"    # 32-bit scalar at a fixed address
+    ARRAY = "array"           # base address + element type
+
+    def __init__(self, kind, reg=None, address=None, type_=None,
+                 length=None):
+        self.kind = kind
+        self.reg = reg
+        self.address = address
+        self.type = type_
+        self.length = length
+
+
+class _LoopLabels:
+    def __init__(self, continue_label, break_label):
+        self.continue_label = continue_label
+        self.break_label = break_label
+
+
+class _InlineFrame:
+    """Context of one inlined call (or of the entry function)."""
+
+    def __init__(self, info, result_reg, exit_label):
+        self.info = info
+        self.result_reg = result_reg
+        self.exit_label = exit_label
+        self.scopes = []
+
+
+class CodeGenerator:
+    """Generates one IR function for the entry point of a program."""
+
+    def __init__(self, analyzed, entry="main", bit_width=32,
+                 data_base=0):
+        self.analyzed = analyzed
+        self.entry = entry
+        self.bit_width = bit_width
+        self._data_base = data_base
+        self._image = bytearray()
+        self._layout = {}
+        self._next_reg = 0
+        self._next_label = 0
+        self._function = None
+        self._block = None
+        self._reachable = True
+        self._frames = []
+        self._loops = []
+        self._globals_storage = {}
+        self._referenced = set()
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self):
+        """Produce ``(function, memory_image, layout)``.
+
+        ``function`` is finalized and uses virtual registers (``%N``);
+        parameters of the entry function are declared as IR params.
+        """
+        self._lay_out_globals()
+        info = self.analyzed.functions[self.entry]
+        param_regs = [self._fresh_reg() for _ in info.params]
+        self._function = Function(self.entry, bit_width=self.bit_width,
+                                  params=tuple(param_regs))
+        self._start_block("entry", force=True)
+        frame = _InlineFrame(info, result_reg=None, exit_label=None)
+        frame.scopes.append({})
+        for (param_type, param_name), reg in zip(info.params, param_regs):
+            frame.scopes[-1][param_name] = _Storage(
+                _Storage.SCALAR_REG, reg=reg, type_=param_type)
+        self._frames.append(frame)
+        self._gen_block(info.definition.body)
+        if self._reachable:
+            if info.return_type is VOID:
+                self._emit(Instruction(Opcode.RET))
+            else:
+                reg = self._fresh_reg()
+                self._emit(Instruction(Opcode.LI, rd=reg, imm=0))
+                self._emit(Instruction(Opcode.RET, rs1=reg))
+        self._frames.pop()
+        self._function.compact()
+        self._function.finalize()
+        return self._function, bytes(self._image), dict(self._layout)
+
+    @property
+    def data_end(self):
+        return self._data_base + len(self._image)
+
+    # -- data layout -------------------------------------------------------------------
+
+    def _lay_out_globals(self):
+        for name, symbol in self.analyzed.globals.items():
+            if symbol.is_array:
+                size = symbol.array_size * symbol.type.size
+                address = self._allocate(size, symbol.type.size)
+                values = symbol.init or []
+                for index, value in enumerate(values):
+                    self._poke(address + index * symbol.type.size,
+                               value, symbol.type.size)
+                storage = _Storage(_Storage.ARRAY, address=address,
+                                   type_=symbol.type,
+                                   length=symbol.array_size)
+            else:
+                address = self._allocate(_WORD, _WORD)
+                if symbol.init:
+                    self._poke(address, symbol.init, _WORD)
+                storage = _Storage(_Storage.GLOBAL_SCALAR, address=address,
+                                   type_=symbol.type)
+            symbol.address = address
+            self._globals_storage[name] = storage
+            self._layout[name] = (address,
+                                  symbol.array_size or 1, symbol.type.name)
+
+    def _allocate(self, size, align):
+        offset = len(self._image)
+        padding = (-offset - self._data_base) % align
+        self._image.extend(b"\x00" * (padding + size))
+        return self._data_base + offset + padding
+
+    def allocate_scratch(self, size, align=_WORD):
+        """Allocate zero-initialized static memory (used for spill slots
+        and inlined local arrays)."""
+        return self._allocate(size, align)
+
+    def _poke(self, address, value, size):
+        offset = address - self._data_base
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        self._image[offset:offset + size] = data
+
+    # -- IR emission helpers ---------------------------------------------------------------
+
+    def _fresh_reg(self):
+        self._next_reg += 1
+        return f"%{self._next_reg}"
+
+    def _fresh_label(self, hint):
+        self._next_label += 1
+        return f"L{self._next_label}.{hint}"
+
+    def _start_block(self, label, force=False):
+        """Open a new basic block.
+
+        When the current position is unreachable and nothing branches to
+        *label*, the block would be dead; it is still created when
+        ``force`` or referenced (callers only pass labels that are
+        referenced by emitted branches).
+        """
+        if not force and not self._reachable and \
+                label not in self._referenced:
+            # Dead join point: skip; subsequent code stays unreachable.
+            return
+        self._block = self._function.new_block(label)
+        self._reachable = True
+
+    def _emit(self, instruction):
+        if not self._reachable:
+            return instruction
+        self._block.append(instruction)
+        if instruction.label is not None:
+            self._referenced.add(instruction.label)
+        if instruction.is_conditional_branch:
+            # A conditional branch ends the block but control continues
+            # on the fall-through path: open it immediately.
+            self._block = self._function.new_block(
+                self._fresh_label("fall"))
+        elif instruction.is_terminator:
+            self._reachable = False
+        return instruction
+
+    def _emit_alu(self, opcode, rd, rs1, rs2=None, imm=None):
+        self._emit(Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+        return rd
+
+    # -- scope handling -------------------------------------------------------------------------
+
+    @property
+    def _frame(self):
+        return self._frames[-1]
+
+    def _lookup(self, name):
+        for scope in reversed(self._frame.scopes):
+            if name in scope:
+                return scope[name]
+        storage = self._globals_storage.get(name)
+        if storage is None:
+            raise SemanticError(f"codegen: unknown name {name!r}")
+        return storage
+
+    # -- statements ------------------------------------------------------------------------------
+
+    def _gen_block(self, block):
+        self._frame.scopes.append({})
+        for statement in block.statements:
+            if not self._reachable:
+                break               # dead code after return/break
+            self._gen_statement(statement)
+        self._frame.scopes.pop()
+
+    def _gen_statement(self, statement):
+        if isinstance(statement, ast.Block):
+            self._gen_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            self._gen_local_decl(statement)
+        elif isinstance(statement, ast.Assign):
+            self._gen_assign(statement)
+        elif isinstance(statement, ast.If):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.DoWhile):
+            self._gen_do_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        elif isinstance(statement, ast.Break):
+            self._emit(Instruction(Opcode.J,
+                                   label=self._loops[-1].break_label))
+        elif isinstance(statement, ast.Continue):
+            self._emit(Instruction(Opcode.J,
+                                   label=self._loops[-1].continue_label))
+        elif isinstance(statement, ast.Out):
+            reg = self._gen_expr(statement.value)
+            self._emit(Instruction(Opcode.OUT, rs1=reg))
+        elif isinstance(statement, ast.ExprStatement):
+            self._gen_expr(statement.expr, discard=True)
+        else:
+            raise SemanticError(
+                f"codegen: unhandled statement {type(statement).__name__}")
+
+    def _gen_local_decl(self, declaration):
+        symbol = declaration.symbol
+        scope = self._frame.scopes[-1]
+        if symbol.is_array:
+            size = symbol.array_size * symbol.type.size
+            address = self.allocate_scratch(size, symbol.type.size)
+            storage = _Storage(_Storage.ARRAY, address=address,
+                               type_=symbol.type,
+                               length=symbol.array_size)
+            scope[symbol.name] = storage
+            for index, value in enumerate(symbol.init or []):
+                reg = self._fresh_reg()
+                self._emit(Instruction(Opcode.LI, rd=reg, imm=value))
+                opcode = Opcode.SW if symbol.type.size == _WORD else \
+                    Opcode.SB
+                self._emit(Instruction(
+                    opcode, rs2=reg, rs1=ZERO,
+                    imm=address + index * symbol.type.size))
+            return
+        reg = self._fresh_reg()
+        scope[symbol.name] = _Storage(_Storage.SCALAR_REG, reg=reg,
+                                      type_=symbol.type)
+        if declaration.initializer is not None:
+            value = self._gen_expr(declaration.initializer)
+            self._emit(Instruction(Opcode.MV, rd=reg, rs1=value))
+        else:
+            self._emit(Instruction(Opcode.LI, rd=reg, imm=0))
+
+    def _gen_assign(self, assignment):
+        target = assignment.target
+        if assignment.op == "=":
+            value = self._gen_expr(assignment.value)
+        else:
+            current = self._gen_expr(target)
+            op = assignment.op[:-1]
+            type_ = _binary_type(target.type, assignment.value.type)
+            opcode = self._immediate_opcode(op, type_)
+            if isinstance(assignment.value, ast.Number) and \
+                    opcode is not None:
+                value = self._fresh_reg()
+                imm = assignment.value.value
+                if op == "-":
+                    opcode, imm = Opcode.ADDI, -imm
+                self._emit_alu(opcode, value, current, imm=imm)
+            else:
+                operand = self._gen_expr(assignment.value)
+                value = self._gen_binary_op(op, current, operand, type_)
+        self._store_to(target, value)
+
+    def _store_to(self, target, value_reg):
+        if isinstance(target, ast.Name):
+            storage = self._lookup(target.name)
+            if storage.kind == _Storage.SCALAR_REG:
+                self._emit(Instruction(Opcode.MV, rd=storage.reg,
+                                       rs1=value_reg))
+            else:
+                self._emit(Instruction(Opcode.SW, rs2=value_reg, rs1=ZERO,
+                                       imm=storage.address))
+            return
+        # Array element.
+        storage = self._lookup(target.array.name)
+        address_reg, offset = self._element_address(storage, target.index)
+        opcode = Opcode.SW if storage.type.size == _WORD else Opcode.SB
+        self._emit(Instruction(opcode, rs2=value_reg, rs1=address_reg,
+                               imm=offset))
+
+    def _element_address(self, storage, index_expr):
+        """Compute (base register, immediate offset) of an element."""
+        if isinstance(index_expr, ast.Number):
+            return ZERO, storage.address + \
+                index_expr.value * storage.type.size
+        index_reg = self._gen_expr(index_expr)
+        if storage.type.size == _WORD:
+            shifted = self._fresh_reg()
+            self._emit_alu(Opcode.SLLI, shifted, index_reg, imm=2)
+            index_reg = shifted
+        return index_reg, storage.address
+
+    def _gen_if(self, statement):
+        then_label = self._fresh_label("then")
+        end_label = self._fresh_label("endif")
+        else_label = self._fresh_label("else") if statement.else_body \
+            else end_label
+        self._gen_branch(statement.condition, then_label, else_label)
+        self._start_block(then_label)
+        self._gen_statement(statement.then_body)
+        then_reachable = self._reachable
+        if then_reachable and statement.else_body is not None:
+            self._emit(Instruction(Opcode.J, label=end_label))
+        if statement.else_body is not None:
+            self._start_block(else_label)
+            self._gen_statement(statement.else_body)
+        self._start_block(end_label)
+
+    def _gen_while(self, statement):
+        head_label = self._fresh_label("while.head")
+        body_label = self._fresh_label("while.body")
+        end_label = self._fresh_label("while.end")
+        self._emit(Instruction(Opcode.J, label=head_label))
+        self._start_block(head_label)
+        self._gen_branch(statement.condition, body_label, end_label)
+        self._start_block(body_label)
+        self._loops.append(_LoopLabels(head_label, end_label))
+        self._gen_statement(statement.body)
+        self._loops.pop()
+        if self._reachable:
+            self._emit(Instruction(Opcode.J, label=head_label))
+        self._start_block(end_label)
+
+    def _gen_do_while(self, statement):
+        body_label = self._fresh_label("do.body")
+        cond_label = self._fresh_label("do.cond")
+        end_label = self._fresh_label("do.end")
+        self._emit(Instruction(Opcode.J, label=body_label))
+        self._start_block(body_label)
+        self._loops.append(_LoopLabels(cond_label, end_label))
+        self._gen_statement(statement.body)
+        self._loops.pop()
+        if self._reachable:
+            self._emit(Instruction(Opcode.J, label=cond_label))
+        self._start_block(cond_label)
+        self._gen_branch(statement.condition, body_label, end_label)
+        self._start_block(end_label)
+
+    def _gen_for(self, statement):
+        self._frame.scopes.append({})
+        if statement.init is not None:
+            self._gen_statement(statement.init)
+        head_label = self._fresh_label("for.head")
+        body_label = self._fresh_label("for.body")
+        step_label = self._fresh_label("for.step")
+        end_label = self._fresh_label("for.end")
+        self._emit(Instruction(Opcode.J, label=head_label))
+        self._start_block(head_label)
+        if statement.condition is not None:
+            self._gen_branch(statement.condition, body_label, end_label)
+        else:
+            self._emit(Instruction(Opcode.J, label=body_label))
+        self._start_block(body_label)
+        self._loops.append(_LoopLabels(step_label, end_label))
+        self._gen_statement(statement.body)
+        self._loops.pop()
+        if self._reachable:
+            self._emit(Instruction(Opcode.J, label=step_label))
+        self._start_block(step_label)
+        if statement.step is not None:
+            self._gen_statement(statement.step)
+        if self._reachable:
+            self._emit(Instruction(Opcode.J, label=head_label))
+        self._start_block(end_label)
+
+    def _gen_return(self, statement):
+        frame = self._frame
+        if frame.exit_label is None:
+            # Entry function: a real machine return.
+            if statement.value is None:
+                self._emit(Instruction(Opcode.RET))
+            else:
+                reg = self._gen_expr(statement.value)
+                self._emit(Instruction(Opcode.RET, rs1=reg))
+            return
+        if statement.value is not None:
+            value = self._gen_expr(statement.value)
+            self._emit(Instruction(Opcode.MV, rd=frame.result_reg,
+                                   rs1=value))
+        self._emit(Instruction(Opcode.J, label=frame.exit_label))
+
+    # -- conditions -------------------------------------------------------------------------------------
+
+    _BRANCH_BY_OP = {
+        "==": (Opcode.BEQ, False),
+        "!=": (Opcode.BNE, False),
+        "<": (Opcode.BLT, False),
+        ">=": (Opcode.BGE, False),
+        ">": (Opcode.BLT, True),      # swap operands
+        "<=": (Opcode.BGE, True),
+    }
+    _UNSIGNED_BRANCH = {Opcode.BLT: Opcode.BLTU, Opcode.BGE: Opcode.BGEU,
+                        Opcode.BEQ: Opcode.BEQ, Opcode.BNE: Opcode.BNE}
+
+    def _gen_branch(self, condition, true_label, false_label):
+        """Emit control flow for *condition*; always terminates the
+        current block (branch + fall-through or jump)."""
+        if isinstance(condition, ast.Unary) and condition.op == "!":
+            self._gen_branch(condition.operand, false_label, true_label)
+            return
+        if isinstance(condition, ast.Binary):
+            if condition.op == "&&":
+                middle = self._fresh_label("and")
+                self._gen_branch(condition.left, middle, false_label)
+                self._start_block(middle)
+                self._gen_branch(condition.right, true_label, false_label)
+                return
+            if condition.op == "||":
+                middle = self._fresh_label("or")
+                self._gen_branch(condition.left, true_label, middle)
+                self._start_block(middle)
+                self._gen_branch(condition.right, true_label, false_label)
+                return
+            if condition.op in self._BRANCH_BY_OP:
+                opcode, swap = self._BRANCH_BY_OP[condition.op]
+                unsigned = getattr(condition, "operand_type", INT) is UINT
+                if unsigned:
+                    opcode = self._UNSIGNED_BRANCH[opcode]
+                # Comparisons against literal zero use the hard-wired
+                # zero register (RISC-V idiom: beqz/bnez/bltz/...).
+                if _is_zero_literal(condition.right):
+                    left = self._gen_expr(condition.left)
+                    right = ZERO
+                elif _is_zero_literal(condition.left):
+                    left = ZERO
+                    right = self._gen_expr(condition.right)
+                else:
+                    left = self._gen_expr(condition.left)
+                    right = self._gen_expr(condition.right)
+                if swap:
+                    left, right = right, left
+                if right == ZERO and opcode is Opcode.BEQ:
+                    self._emit(Instruction(Opcode.BEQZ, rs1=left,
+                                           label=true_label))
+                elif right == ZERO and opcode is Opcode.BNE:
+                    self._emit(Instruction(Opcode.BNEZ, rs1=left,
+                                           label=true_label))
+                else:
+                    self._emit(Instruction(opcode, rs1=left, rs2=right,
+                                           label=true_label))
+                self._emit(Instruction(Opcode.J, label=false_label))
+                return
+        reg = self._gen_expr(condition)
+        self._emit(Instruction(Opcode.BNEZ, rs1=reg, label=true_label))
+        self._emit(Instruction(Opcode.J, label=false_label))
+
+    # -- expressions --------------------------------------------------------------------------------------
+
+    def _gen_expr(self, expr, discard=False):
+        """Generate code for *expr*; returns the result register."""
+        if isinstance(expr, ast.Number):
+            reg = self._fresh_reg()
+            self._emit(Instruction(Opcode.LI, rd=reg, imm=expr.value))
+            return reg
+        if isinstance(expr, ast.Name):
+            storage = self._lookup(expr.name)
+            if storage.kind == _Storage.SCALAR_REG:
+                # Safe to use directly: assignments only occur at
+                # statement level, so no write can intervene between
+                # this read and the consumption of the value.
+                return storage.reg
+            reg = self._fresh_reg()
+            self._emit(Instruction(Opcode.LW, rd=reg, rs1=ZERO,
+                                   imm=storage.address))
+            return reg
+        if isinstance(expr, ast.Index):
+            storage = self._lookup(expr.array.name)
+            base, offset = self._element_address(storage, expr.index)
+            reg = self._fresh_reg()
+            opcode = Opcode.LW if storage.type.size == _WORD else \
+                Opcode.LBU
+            self._emit(Instruction(opcode, rd=reg, rs1=base, imm=offset))
+            return reg
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.Cast):
+            reg = self._gen_expr(expr.operand)
+            if expr.type_to is BYTE:
+                truncated = self._fresh_reg()
+                self._emit_alu(Opcode.ANDI, truncated, reg, imm=0xFF)
+                return truncated
+            return reg
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, discard=discard)
+        raise SemanticError(
+            f"codegen: unhandled expression {type(expr).__name__}")
+
+    def _gen_unary(self, expr):
+        operand = self._gen_expr(expr.operand)
+        reg = self._fresh_reg()
+        opcode = {"-": Opcode.NEG, "~": Opcode.NOT, "!": Opcode.SEQZ}[
+            expr.op]
+        self._emit(Instruction(opcode, rd=reg, rs1=operand))
+        return reg
+
+    _IMMEDIATE_FORMS = {
+        Opcode.ADD: Opcode.ADDI, Opcode.AND: Opcode.ANDI,
+        Opcode.OR: Opcode.ORI, Opcode.XOR: Opcode.XORI,
+        Opcode.SLL: Opcode.SLLI, Opcode.SRL: Opcode.SRLI,
+        Opcode.SRA: Opcode.SRAI, Opcode.SLT: Opcode.SLTI,
+        Opcode.SLTU: Opcode.SLTIU,
+    }
+
+    def _gen_binary(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_logical(expr)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._gen_comparison(expr)
+        type_ = _binary_type(expr.left.type, expr.right.type)
+        # Immediate form when the right operand is a literal.
+        if isinstance(expr.right, ast.Number) and \
+                self._immediate_opcode(op, type_) is not None:
+            left = self._gen_expr(expr.left)
+            reg = self._fresh_reg()
+            imm = expr.right.value
+            opcode = self._immediate_opcode(op, type_)
+            if op == "-":
+                opcode, imm = Opcode.ADDI, -imm
+            self._emit_alu(opcode, reg, left, imm=imm)
+            return reg
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        return self._gen_binary_op(op, left, right, type_)
+
+    def _immediate_opcode(self, op, type_):
+        base = self._register_opcode(op, type_)
+        if base is None or op == "-":
+            return self._IMMEDIATE_FORMS.get(Opcode.ADD) if op == "-" \
+                else None
+        return self._IMMEDIATE_FORMS.get(base)
+
+    @staticmethod
+    def _register_opcode(op, type_):
+        signed = type_.signed
+        table = {
+            "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL,
+            "/": Opcode.DIV if signed else Opcode.DIVU,
+            "%": Opcode.REM if signed else Opcode.REMU,
+            "&": Opcode.AND, "|": Opcode.OR, "^": Opcode.XOR,
+            "<<": Opcode.SLL,
+            ">>": Opcode.SRA if signed else Opcode.SRL,
+        }
+        return table.get(op)
+
+    def _gen_binary_op(self, op, left, right, type_):
+        opcode = self._register_opcode(op, type_)
+        if opcode is None:
+            raise SemanticError(f"codegen: unhandled operator {op!r}")
+        reg = self._fresh_reg()
+        self._emit_alu(opcode, reg, left, rs2=right)
+        return reg
+
+    def _gen_comparison(self, expr):
+        unsigned = getattr(expr, "operand_type", INT) is UINT
+        op = expr.op
+        if op in ("==", "!=") and (_is_zero_literal(expr.right)
+                                   or _is_zero_literal(expr.left)):
+            operand = expr.left if _is_zero_literal(expr.right) \
+                else expr.right
+            value = self._gen_expr(operand)
+            reg = self._fresh_reg()
+            final = Opcode.SEQZ if op == "==" else Opcode.SNEZ
+            self._emit(Instruction(final, rd=reg, rs1=value))
+            return reg
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        reg = self._fresh_reg()
+        if op in ("==", "!="):
+            difference = self._fresh_reg()
+            self._emit_alu(Opcode.XOR, difference, left, rs2=right)
+            final = Opcode.SEQZ if op == "==" else Opcode.SNEZ
+            self._emit(Instruction(final, rd=reg, rs1=difference))
+            return reg
+        slt = Opcode.SLTU if unsigned else Opcode.SLT
+        if op == "<":
+            self._emit_alu(slt, reg, left, rs2=right)
+            return reg
+        if op == ">":
+            self._emit_alu(slt, reg, right, rs2=left)
+            return reg
+        # <= and >= are the negations of > and <.
+        raw = self._fresh_reg()
+        if op == "<=":
+            self._emit_alu(slt, raw, right, rs2=left)
+        else:
+            self._emit_alu(slt, raw, left, rs2=right)
+        self._emit_alu(Opcode.XORI, reg, raw, imm=1)
+        return reg
+
+    def _gen_logical(self, expr):
+        """Short-circuit && / || producing a 0/1 value."""
+        result = self._fresh_reg()
+        true_label = self._fresh_label("sc.true")
+        false_label = self._fresh_label("sc.false")
+        end_label = self._fresh_label("sc.end")
+        self._gen_branch(expr, true_label, false_label)
+        self._start_block(true_label)
+        self._emit(Instruction(Opcode.LI, rd=result, imm=1))
+        self._emit(Instruction(Opcode.J, label=end_label))
+        self._start_block(false_label)
+        self._emit(Instruction(Opcode.LI, rd=result, imm=0))
+        self._start_block(end_label)
+        return result
+
+    def _gen_conditional(self, expr):
+        result = self._fresh_reg()
+        then_label = self._fresh_label("sel.then")
+        else_label = self._fresh_label("sel.else")
+        end_label = self._fresh_label("sel.end")
+        self._gen_branch(expr.condition, then_label, else_label)
+        self._start_block(then_label)
+        value = self._gen_expr(expr.then_value)
+        self._emit(Instruction(Opcode.MV, rd=result, rs1=value))
+        self._emit(Instruction(Opcode.J, label=end_label))
+        self._start_block(else_label)
+        value = self._gen_expr(expr.else_value)
+        self._emit(Instruction(Opcode.MV, rd=result, rs1=value))
+        self._start_block(end_label)
+        return result
+
+    # -- call inlining -----------------------------------------------------------------------------------------
+
+    def _gen_call(self, call, discard=False):
+        info = self.analyzed.functions[call.name]
+        argument_regs = [self._gen_expr(argument)
+                         for argument in call.args]
+        frame = _InlineFrame(
+            info,
+            result_reg=self._fresh_reg(),
+            exit_label=self._fresh_label(f"ret.{call.name}"))
+        frame.scopes.append({})
+        for (param_type, param_name), arg_reg in zip(info.params,
+                                                     argument_regs):
+            param_reg = self._fresh_reg()
+            self._emit(Instruction(Opcode.MV, rd=param_reg, rs1=arg_reg))
+            frame.scopes[-1][param_name] = _Storage(
+                _Storage.SCALAR_REG, reg=param_reg, type_=param_type)
+        if info.return_type is not VOID:
+            self._emit(Instruction(Opcode.LI, rd=frame.result_reg, imm=0))
+        self._frames.append(frame)
+        self._gen_block(info.definition.body)
+        self._frames.pop()
+        if self._reachable:
+            self._emit(Instruction(Opcode.J, label=frame.exit_label))
+        self._start_block(frame.exit_label)
+        return frame.result_reg
+
+
+def _binary_type(left, right):
+    if UINT in (left, right):
+        return UINT
+    return INT
+
+
+def _is_zero_literal(expr):
+    return isinstance(expr, ast.Number) and expr.value == 0

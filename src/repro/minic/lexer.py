@@ -1,0 +1,104 @@
+"""Lexer for the mini-C language."""
+
+from repro.errors import ParseError
+from repro.minic.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+
+def tokenize(source):
+    """Tokenize *source*; returns a list of tokens ending with EOF."""
+    tokens = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message):
+        raise ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                error("unterminated block comment")
+            skipped = source[index:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        if char.isdigit():
+            start = index
+            if source.startswith(("0x", "0X"), index):
+                index += 2
+                while index < length and source[index] in \
+                        "0123456789abcdefABCDEF":
+                    index += 1
+                if index == start + 2:
+                    error("bad hex literal")
+                value = int(source[start:index], 16)
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+                value = int(source[start:index])
+            if index < length and (source[index].isalpha()
+                                   or source[index] == "_"):
+                error(f"bad numeric literal {source[start:index + 1]!r}")
+            tokens.append(Token(TokenKind.NUMBER, value, line, column))
+            column += index - start
+            continue
+        if char == "'":
+            if index + 2 < length and source[index + 2] == "'" \
+                    and source[index + 1] != "\\":
+                tokens.append(Token(TokenKind.NUMBER,
+                                    ord(source[index + 1]), line, column))
+                index += 3
+                column += 3
+                continue
+            if index + 3 < length and source[index + 1] == "\\" \
+                    and source[index + 3] == "'":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                escape = source[index + 2]
+                if escape not in escapes:
+                    error(f"bad character escape \\{escape}")
+                tokens.append(Token(TokenKind.NUMBER, escapes[escape],
+                                    line, column))
+                index += 4
+                column += 4
+                continue
+            error("bad character literal")
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, line, column))
+            column += index - start
+            continue
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, index):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            error(f"unexpected character {char!r}")
+    tokens.append(Token(TokenKind.EOF, None, line, column))
+    return tokens

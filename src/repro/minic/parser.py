@@ -1,0 +1,385 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar (C-like, no pointers/structs, fixed-size arrays only)::
+
+    program     := (global | function)*
+    global      := type IDENT ("[" expr "]")? ("=" init)? ";"
+    init        := expr | "{" expr ("," expr)* ","? "}"
+    function    := type IDENT "(" params ")" block
+    params      := (type IDENT ("," type IDENT)*)?
+    block       := "{" statement* "}"
+    statement   := decl | if | while | do-while | for | jump | out
+                 | block | assign-or-expr ";"
+    assignment targets are names or single array subscripts;
+    ``x++;``/``x--;`` desugar to ``x += 1`` / ``x -= 1``.
+
+Expression precedence matches C (without comma and pointer operators).
+"""
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+
+class Parser:
+    def __init__(self, source):
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def _token(self):
+        return self._tokens[self._index]
+
+    def _advance(self):
+        token = self._token
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind, value=None):
+        token = self._token
+        if token.kind is not kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        if not self._check(kind, value):
+            want = value or kind.value
+            raise ParseError(
+                f"expected {want!r}, found {self._token.value!r}",
+                line=self._token.line, column=self._token.column)
+        return self._advance()
+
+    def _peek_punct(self, *values):
+        return self._token.kind is TokenKind.PUNCT and \
+            self._token.value in values
+
+    # -- program structure ----------------------------------------------------
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while self._token.kind is not TokenKind.EOF:
+            type_ = self._parse_type()
+            name = self._expect(TokenKind.IDENT).value
+            if self._peek_punct("("):
+                functions.append(self._parse_function(type_, name))
+            else:
+                globals_.append(self._parse_global(type_, name))
+        return ast.Program(globals_, functions)
+
+    def _parse_type(self):
+        token = self._expect(TokenKind.KEYWORD)
+        if token.value not in ast.TYPES_BY_NAME:
+            raise ParseError(f"expected a type, found {token.value!r}",
+                             line=token.line)
+        return ast.TYPES_BY_NAME[token.value]
+
+    def _parse_global(self, type_, name):
+        line = self._token.line
+        array_size = None
+        initializer = None
+        if self._accept(TokenKind.PUNCT, "["):
+            array_size = self.parse_expression()
+            self._expect(TokenKind.PUNCT, "]")
+        if self._accept(TokenKind.PUNCT, "="):
+            initializer = self._parse_initializer()
+        self._expect(TokenKind.PUNCT, ";")
+        return ast.GlobalDecl(type_, name, array_size, initializer,
+                              line=line)
+
+    def _parse_initializer(self):
+        if self._accept(TokenKind.PUNCT, "{"):
+            items = [self.parse_expression()]
+            while self._accept(TokenKind.PUNCT, ","):
+                if self._peek_punct("}"):
+                    break
+                items.append(self.parse_expression())
+            self._expect(TokenKind.PUNCT, "}")
+            return items
+        return self.parse_expression()
+
+    def _parse_function(self, return_type, name):
+        line = self._token.line
+        self._expect(TokenKind.PUNCT, "(")
+        params = []
+        if not self._peek_punct(")"):
+            while True:
+                param_type = self._parse_type()
+                param_name = self._expect(TokenKind.IDENT).value
+                params.append((param_type, param_name))
+                if not self._accept(TokenKind.PUNCT, ","):
+                    break
+        self._expect(TokenKind.PUNCT, ")")
+        body = self._parse_block()
+        return ast.FunctionDef(return_type, name, params, body, line=line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _parse_block(self):
+        line = self._expect(TokenKind.PUNCT, "{").line
+        statements = []
+        while not self._peek_punct("}"):
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.PUNCT, "}")
+        return ast.Block(statements, line=line)
+
+    def _parse_statement(self):
+        token = self._token
+        if token.kind is TokenKind.PUNCT and token.value == "{":
+            return self._parse_block()
+        if token.kind is TokenKind.KEYWORD:
+            keyword = token.value
+            if keyword in ast.TYPES_BY_NAME:
+                return self._parse_local_decl()
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                self._advance()
+                value = None
+                if not self._peek_punct(";"):
+                    value = self.parse_expression()
+                self._expect(TokenKind.PUNCT, ";")
+                return ast.Return(value, line=token.line)
+            if keyword == "break":
+                self._advance()
+                self._expect(TokenKind.PUNCT, ";")
+                return ast.Break(line=token.line)
+            if keyword == "continue":
+                self._advance()
+                self._expect(TokenKind.PUNCT, ";")
+                return ast.Continue(line=token.line)
+            if keyword == "out":
+                self._advance()
+                self._expect(TokenKind.PUNCT, "(")
+                value = self.parse_expression()
+                self._expect(TokenKind.PUNCT, ")")
+                self._expect(TokenKind.PUNCT, ";")
+                return ast.Out(value, line=token.line)
+        statement = self._parse_simple_statement()
+        self._expect(TokenKind.PUNCT, ";")
+        return statement
+
+    def _parse_local_decl(self):
+        line = self._token.line
+        type_ = self._parse_type()
+        name = self._expect(TokenKind.IDENT).value
+        array_size = None
+        initializer = None
+        if self._accept(TokenKind.PUNCT, "["):
+            array_size = self.parse_expression()
+            self._expect(TokenKind.PUNCT, "]")
+            if self._accept(TokenKind.PUNCT, "="):
+                initializer = self._parse_initializer()
+        elif self._accept(TokenKind.PUNCT, "="):
+            initializer = self.parse_expression()
+        self._expect(TokenKind.PUNCT, ";")
+        return ast.LocalDecl(type_, name, array_size, initializer,
+                             line=line)
+
+    def _parse_if(self):
+        line = self._advance().line
+        self._expect(TokenKind.PUNCT, "(")
+        condition = self.parse_expression()
+        self._expect(TokenKind.PUNCT, ")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self._accept(TokenKind.KEYWORD, "else"):
+            else_body = self._parse_statement()
+        return ast.If(condition, then_body, else_body, line=line)
+
+    def _parse_while(self):
+        line = self._advance().line
+        self._expect(TokenKind.PUNCT, "(")
+        condition = self.parse_expression()
+        self._expect(TokenKind.PUNCT, ")")
+        body = self._parse_statement()
+        return ast.While(condition, body, line=line)
+
+    def _parse_do_while(self):
+        line = self._advance().line
+        body = self._parse_statement()
+        self._expect(TokenKind.KEYWORD, "while")
+        self._expect(TokenKind.PUNCT, "(")
+        condition = self.parse_expression()
+        self._expect(TokenKind.PUNCT, ")")
+        self._expect(TokenKind.PUNCT, ";")
+        return ast.DoWhile(body, condition, line=line)
+
+    def _parse_for(self):
+        line = self._advance().line
+        self._expect(TokenKind.PUNCT, "(")
+        init = None
+        if not self._peek_punct(";"):
+            if self._token.kind is TokenKind.KEYWORD and \
+                    self._token.value in ast.TYPES_BY_NAME:
+                init = self._parse_local_decl()
+            else:
+                init = self._parse_simple_statement()
+                self._expect(TokenKind.PUNCT, ";")
+        else:
+            self._expect(TokenKind.PUNCT, ";")
+        condition = None
+        if not self._peek_punct(";"):
+            condition = self.parse_expression()
+        self._expect(TokenKind.PUNCT, ";")
+        step = None
+        if not self._peek_punct(")"):
+            step = self._parse_simple_statement()
+        self._expect(TokenKind.PUNCT, ")")
+        body = self._parse_statement()
+        return ast.For(init, condition, step, body, line=line)
+
+    def _parse_simple_statement(self):
+        """Assignment, increment/decrement, or bare expression."""
+        line = self._token.line
+        expr = self.parse_expression()
+        if self._token.kind is TokenKind.PUNCT and \
+                self._token.value in _ASSIGN_OPS:
+            op = self._advance().value
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("assignment target must be a variable "
+                                 "or array element", line=line)
+            value = self.parse_expression()
+            return ast.Assign(expr, op, value, line=line)
+        if self._peek_punct("++", "--"):
+            op = self._advance().value
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("++/-- target must be a variable or "
+                                 "array element", line=line)
+            return ast.Assign(expr, "+=" if op == "++" else "-=",
+                              ast.Number(1, line=line), line=line)
+        return ast.ExprStatement(expr, line=line)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expression(self):
+        return self._parse_conditional()
+
+    def _parse_conditional(self):
+        condition = self._parse_logical_or()
+        if self._accept(TokenKind.PUNCT, "?"):
+            then_value = self.parse_expression()
+            self._expect(TokenKind.PUNCT, ":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(condition, then_value, else_value,
+                                   line=condition.line)
+        return condition
+
+    def _binary_level(self, operators, next_level):
+        left = next_level()
+        while self._token.kind is TokenKind.PUNCT and \
+                self._token.value in operators:
+            op = self._advance().value
+            right = next_level()
+            left = ast.Binary(op, left, right, line=left.line)
+        return left
+
+    def _parse_logical_or(self):
+        return self._binary_level(("||",), self._parse_logical_and)
+
+    def _parse_logical_and(self):
+        return self._binary_level(("&&",), self._parse_bit_or)
+
+    def _parse_bit_or(self):
+        return self._binary_level(("|",), self._parse_bit_xor)
+
+    def _parse_bit_xor(self):
+        return self._binary_level(("^",), self._parse_bit_and)
+
+    def _parse_bit_and(self):
+        return self._binary_level(("&",), self._parse_equality)
+
+    def _parse_equality(self):
+        return self._binary_level(("==", "!="), self._parse_relational)
+
+    def _parse_relational(self):
+        return self._binary_level(("<", "<=", ">", ">="),
+                                  self._parse_shift)
+
+    def _parse_shift(self):
+        return self._binary_level(("<<", ">>"), self._parse_additive)
+
+    def _parse_additive(self):
+        return self._binary_level(("+", "-"), self._parse_multiplicative)
+
+    def _parse_multiplicative(self):
+        return self._binary_level(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self):
+        token = self._token
+        if self._peek_punct("-", "~", "!"):
+            op = self._advance().value
+            operand = self._parse_unary()
+            return ast.Unary(op, operand, line=token.line)
+        if self._peek_punct("("):
+            # Possible cast: "(" type ")" unary
+            next_token = self._tokens[self._index + 1]
+            if next_token.kind is TokenKind.KEYWORD and \
+                    next_token.value in ("int", "uint", "byte"):
+                self._advance()
+                type_ = self._parse_type()
+                self._expect(TokenKind.PUNCT, ")")
+                operand = self._parse_unary()
+                return ast.Cast(type_, operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self._peek_punct("["):
+                if not isinstance(expr, ast.Name):
+                    raise ParseError("only named arrays can be indexed",
+                                     line=self._token.line)
+                self._advance()
+                index = self.parse_expression()
+                self._expect(TokenKind.PUNCT, "]")
+                expr = ast.Index(expr, index, line=expr.line)
+            elif self._peek_punct("(") and isinstance(expr, ast.Name):
+                self._advance()
+                args = []
+                if not self._peek_punct(")"):
+                    args.append(self.parse_expression())
+                    while self._accept(TokenKind.PUNCT, ","):
+                        args.append(self.parse_expression())
+                self._expect(TokenKind.PUNCT, ")")
+                expr = ast.Call(expr.name, args, line=expr.line)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self._token
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Number(token.value, line=token.line)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Name(token.value, line=token.line)
+        if self._accept(TokenKind.PUNCT, "("):
+            expr = self.parse_expression()
+            self._expect(TokenKind.PUNCT, ")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r}",
+                         line=token.line, column=token.column)
+
+
+def parse_source(source):
+    """Parse mini-C *source* into an :class:`repro.minic.ast.Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,235 @@
+"""Linear-scan register allocation (virtual -> physical registers).
+
+The code generator produces an unbounded supply of virtual registers
+(``%N``); real fault-injection studies run on a finite register file, so
+this pass maps them onto a RISC-V-style pool (``t0..t6``, ``s0..s11``,
+``a0..a7`` by default) with spilling to statically-allocated memory
+slots.
+
+Design notes:
+
+* live intervals are derived from a proper liveness analysis, so the
+  classic linear-scan over-approximation is safe across loops;
+* entry-function parameters are precolored to the argument registers
+  ``a0, a1, ...`` (the harness places inputs there);
+* spill slots live in the static data segment and are addressed as
+  ``offset(zero)``, so no frame pointer is required (the program is one
+  fully-inlined function — there is no dynamic stack);
+* three scratch registers are reserved for spill reloads; an instruction
+  reads at most two registers and writes one, so three always suffice.
+"""
+
+from repro.errors import AnalysisError
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.liveness import compute_liveness
+from repro.ir.registers import ARG_REGS, DEFAULT_ALLOC_POOL, ZERO
+
+_WORD = 4
+
+#: Registers reserved for spill-code temporaries.
+SCRATCH_REGS = ("x28", "x29", "x30")
+
+
+class AllocationResult:
+    def __init__(self, function, mapping, spill_slots, spill_base,
+                 spill_size):
+        self.function = function          # rewritten, finalized
+        self.mapping = mapping            # vreg -> physical reg
+        self.spill_slots = spill_slots    # vreg -> address
+        self.spill_base = spill_base
+        self.spill_size = spill_size
+
+
+class _Interval:
+    __slots__ = ("reg", "start", "end", "physical")
+
+    def __init__(self, reg, start, end):
+        self.reg = reg
+        self.start = start
+        self.end = end
+        self.physical = None
+
+    def __repr__(self):
+        return f"<{self.reg}: [{self.start}, {self.end}] -> {self.physical}>"
+
+
+def _compute_intervals(function):
+    liveness = compute_liveness(function)
+    intervals = {}
+
+    def touch(reg, position):
+        interval = intervals.get(reg)
+        if interval is None:
+            intervals[reg] = _Interval(reg, position, position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    for param in function.params:
+        touch(param, 0)
+    for instruction in function.instructions:
+        pp = instruction.pp
+        for reg in instruction.data_reads():
+            touch(reg, pp)
+        for reg in instruction.data_writes():
+            touch(reg, pp)
+        for reg in liveness.live_before(pp):
+            touch(reg, pp)
+        for reg in liveness.live_after(pp):
+            touch(reg, pp + 1)
+    return sorted(intervals.values(), key=lambda i: (i.start, i.end))
+
+
+def allocate_registers(function, pool=None, spill_base=0,
+                       arg_regs=ARG_REGS):
+    """Allocate *function*'s virtual registers; returns
+    :class:`AllocationResult` with a rewritten, finalized function.
+
+    ``spill_base`` is the first free byte of static memory (the end of
+    the compiler's data segment); spill slots are carved from there.
+    """
+    pool = list(pool if pool is not None else DEFAULT_ALLOC_POOL)
+    for scratch in SCRATCH_REGS:
+        if scratch in pool:
+            pool.remove(scratch)
+    if len(function.params) > len(arg_regs):
+        raise AnalysisError(
+            f"{function.name}: too many parameters "
+            f"({len(function.params)} > {len(arg_regs)})")
+
+    precolored = {param: arg_regs[index]
+                  for index, param in enumerate(function.params)}
+    intervals = _compute_intervals(function)
+    by_reg = {interval.reg: interval for interval in intervals}
+
+    free = [reg for reg in pool]
+    active = []
+    mapping = {}
+    spilled = set()
+
+    def expire(start):
+        still_active = []
+        for interval in active:
+            if interval.end < start:
+                free.append(interval.physical)
+            else:
+                still_active.append(interval)
+        active[:] = still_active
+
+    for interval in intervals:
+        expire(interval.start)
+        wanted = precolored.get(interval.reg)
+        if wanted is not None:
+            if wanted in free:
+                free.remove(wanted)
+            else:
+                # Another interval took the argument register; evict it.
+                for other in active:
+                    if other.physical == wanted:
+                        _spill(other, mapping, spilled)
+                        active.remove(other)
+                        break
+            interval.physical = wanted
+            mapping[interval.reg] = wanted
+            active.append(interval)
+            continue
+        if free:
+            interval.physical = free.pop(0)
+            mapping[interval.reg] = interval.physical
+            active.append(interval)
+            continue
+        # Spill the interval that ends last.
+        victim = max(active, key=lambda i: i.end)
+        if victim.end > interval.end and \
+                victim.reg not in precolored:
+            interval.physical = victim.physical
+            mapping[interval.reg] = interval.physical
+            _spill(victim, mapping, spilled)
+            active.remove(victim)
+            active.append(interval)
+        else:
+            _spill(interval, mapping, spilled)
+
+    spill_slots = {}
+    offset = (spill_base + _WORD - 1) // _WORD * _WORD
+    for reg in sorted(spilled):
+        spill_slots[reg] = offset
+        offset += _WORD
+    spill_size = offset - spill_base
+
+    rewritten = _rewrite(function, mapping, spill_slots, precolored)
+    return AllocationResult(rewritten, mapping, spill_slots, spill_base,
+                            spill_size)
+
+
+def _spill(interval, mapping, spilled):
+    mapping.pop(interval.reg, None)
+    spilled.add(interval.reg)
+    interval.physical = None
+
+
+def _rewrite(function, mapping, spill_slots, precolored):
+    result = Function(function.name, bit_width=function.bit_width,
+                      params=tuple(precolored[p] for p in function.params))
+    for block_index, block in enumerate(function.blocks):
+        new_block = result.new_block(block.label)
+        if block_index == 0:
+            # Prologue: spilled parameters are stored to their slots.
+            for param in function.params:
+                if param in spill_slots:
+                    new_block.append(Instruction(
+                        Opcode.SW, rs2=precolored[param], rs1=ZERO,
+                        imm=spill_slots[param]))
+        for instruction in block.instructions:
+            _rewrite_instruction(instruction, mapping, spill_slots,
+                                 new_block)
+    return result.finalize()
+
+
+def _rewrite_instruction(instruction, mapping, spill_slots, block):
+    new_instruction = instruction.copy()
+    scratch_index = 0
+    assigned = {}
+    loads = []
+    stores = []
+
+    def map_reg(reg, is_def):
+        nonlocal scratch_index
+        if reg is None or reg == ZERO:
+            return reg
+        if reg in mapping:
+            return mapping[reg]
+        if reg not in spill_slots:
+            # Already physical (e.g. precolored parameter name).
+            return reg
+        if reg in assigned:
+            return assigned[reg]
+        if scratch_index >= len(SCRATCH_REGS):
+            raise AnalysisError("out of spill scratch registers")
+        scratch = SCRATCH_REGS[scratch_index]
+        scratch_index += 1
+        assigned[reg] = scratch
+        if not is_def:
+            loads.append(Instruction(Opcode.LW, rd=scratch, rs1=ZERO,
+                                     imm=spill_slots[reg]))
+        return scratch
+
+    reads = set(instruction.reads())
+    for field in ("rs1", "rs2"):
+        reg = getattr(instruction, field)
+        if reg is not None and reg in reads:
+            setattr(new_instruction, field, map_reg(reg, is_def=False))
+    if instruction.rd is not None:
+        mapped = map_reg(instruction.rd, is_def=instruction.rd not in reads)
+        new_instruction.rd = mapped
+        if instruction.rd in spill_slots:
+            stores.append(Instruction(Opcode.SW, rs2=mapped, rs1=ZERO,
+                                      imm=spill_slots[instruction.rd]))
+    for load in loads:
+        block.append(load)
+    if stores and new_instruction.is_terminator:
+        raise AnalysisError("terminator with spilled definition")
+    block.append(new_instruction)
+    for store in stores:
+        block.append(store)

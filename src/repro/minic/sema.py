@@ -1,0 +1,438 @@
+"""Semantic analysis for mini-C.
+
+Performs name resolution, type checking/annotation, constant evaluation
+for array sizes and global initializers, and structural checks (break
+outside loop, missing return, call-graph recursion — recursion is
+rejected because the code generator inlines all calls).
+
+Every expression node gets a ``type`` attribute; ``Name``/``Index``
+nodes get a ``symbol`` attribute pointing at their declaration.
+"""
+
+from repro.errors import SemanticError
+from repro.minic import ast
+from repro.minic.ast import BYTE, INT, UINT, VOID
+
+_MAX_UINT = 0xFFFFFFFF
+
+
+class Symbol:
+    """A declared variable (global, local or parameter)."""
+
+    def __init__(self, name, type_, kind, array_size=None, init=None):
+        self.name = name
+        self.type = type_
+        self.kind = kind              # "global" | "local" | "param"
+        self.array_size = array_size  # int or None for scalars
+        self.init = init              # evaluated initializer(s)
+        self.address = None           # assigned by codegen for arrays
+
+    @property
+    def is_array(self):
+        return self.array_size is not None
+
+
+class FunctionInfo:
+    def __init__(self, definition):
+        self.definition = definition
+        self.name = definition.name
+        self.params = definition.params
+        self.return_type = definition.return_type
+        self.callees = set()
+
+
+class AnalyzedProgram:
+    """Output of :func:`analyze`: the annotated AST plus symbol tables."""
+
+    def __init__(self, program, globals_, functions):
+        self.program = program
+        self.globals = globals_         # dict name -> Symbol
+        self.functions = functions      # dict name -> FunctionInfo
+
+
+def analyze(program, entry="main"):
+    """Analyze *program*; raises :class:`SemanticError` on any violation."""
+    analyzer = _Analyzer(program)
+    analyzed = analyzer.run()
+    if entry not in analyzed.functions:
+        raise SemanticError(f"entry function {entry!r} is not defined")
+    if analyzed.functions[entry].return_type is VOID:
+        pass  # a void entry is allowed; the program just returns nothing
+    _check_recursion(analyzed, entry)
+    return analyzed
+
+
+def _check_recursion(analyzed, entry):
+    state = {}
+
+    def visit(name, stack):
+        state[name] = "visiting"
+        for callee in sorted(analyzed.functions[name].callees):
+            if state.get(callee) == "visiting":
+                cycle = " -> ".join(stack + [name, callee])
+                raise SemanticError(
+                    f"recursion is not supported (call cycle {cycle})")
+            if callee not in state:
+                visit(callee, stack + [name])
+        state[name] = "done"
+
+    visit(entry, [])
+
+
+class _Analyzer:
+    def __init__(self, program):
+        self.program = program
+        self.globals = {}
+        self.functions = {}
+        self._scopes = []
+        self._loops = 0
+        self._current = None
+
+    def run(self):
+        for declaration in self.program.globals:
+            self._declare_global(declaration)
+        for definition in self.program.functions:
+            if definition.name in self.functions:
+                raise SemanticError(
+                    f"duplicate function {definition.name!r}",
+                    line=definition.line)
+            if definition.name in self.globals:
+                raise SemanticError(
+                    f"{definition.name!r} already declared as a variable",
+                    line=definition.line)
+            self.functions[definition.name] = FunctionInfo(definition)
+        for info in self.functions.values():
+            self._check_function(info)
+        return AnalyzedProgram(self.program, self.globals, self.functions)
+
+    # -- declarations ---------------------------------------------------------
+
+    def _declare_global(self, declaration):
+        name = declaration.name
+        if name in self.globals:
+            raise SemanticError(f"duplicate global {name!r}",
+                                line=declaration.line)
+        type_ = declaration.type
+        if type_ is VOID:
+            raise SemanticError("void variables are not allowed",
+                                line=declaration.line)
+        array_size = None
+        init = None
+        if declaration.array_size is not None:
+            array_size = self._const_value(declaration.array_size)
+            if array_size <= 0:
+                raise SemanticError(
+                    f"array size of {name!r} must be positive",
+                    line=declaration.line)
+        if declaration.initializer is not None:
+            if isinstance(declaration.initializer, list):
+                if array_size is None:
+                    raise SemanticError(
+                        f"brace initializer on scalar {name!r}",
+                        line=declaration.line)
+                values = [self._const_value(item)
+                          for item in declaration.initializer]
+                if len(values) > array_size:
+                    raise SemanticError(
+                        f"too many initializers for {name!r}",
+                        line=declaration.line)
+                init = values
+            else:
+                if array_size is not None:
+                    raise SemanticError(
+                        f"array {name!r} needs a brace initializer",
+                        line=declaration.line)
+                init = self._const_value(declaration.initializer)
+        if type_ is BYTE and array_size is None:
+            raise SemanticError(
+                f"byte is only usable as an array element type ({name!r})",
+                line=declaration.line)
+        self.globals[name] = Symbol(name, type_, "global",
+                                    array_size=array_size, init=init)
+
+    def _const_value(self, expr):
+        """Evaluate a compile-time constant expression to a Python int."""
+        if isinstance(expr, ast.Number):
+            return expr.value & _MAX_UINT
+        if isinstance(expr, ast.Unary):
+            value = self._const_value(expr.operand)
+            if expr.op == "-":
+                return (-value) & _MAX_UINT
+            if expr.op == "~":
+                return (~value) & _MAX_UINT
+            if expr.op == "!":
+                return 0 if value else 1
+        if isinstance(expr, ast.Binary):
+            left = self._const_value(expr.left)
+            right = self._const_value(expr.right)
+            return _fold_binary(expr.op, left, right, expr.line)
+        if isinstance(expr, ast.Cast):
+            value = self._const_value(expr.operand)
+            if expr.type_to is BYTE:
+                return value & 0xFF
+            return value & _MAX_UINT
+        raise SemanticError("expression is not a compile-time constant",
+                            line=expr.line)
+
+    # -- functions --------------------------------------------------------------
+
+    def _check_function(self, info):
+        self._current = info
+        self._scopes = [{}]
+        for param_type, param_name in info.params:
+            if param_type in (VOID, BYTE):
+                raise SemanticError(
+                    f"parameter {param_name!r} must be int or uint",
+                    line=info.definition.line)
+            if param_name in self._scopes[0]:
+                raise SemanticError(f"duplicate parameter {param_name!r}",
+                                    line=info.definition.line)
+            self._scopes[0][param_name] = Symbol(param_name, param_type,
+                                                 "param")
+        self._check_block(info.definition.body)
+        self._current = None
+
+    # -- statements --------------------------------------------------------------
+
+    def _check_block(self, block):
+        self._scopes.append({})
+        for statement in block.statements:
+            self._check_statement(statement)
+        self._scopes.pop()
+
+    def _check_statement(self, statement):
+        if isinstance(statement, ast.Block):
+            self._check_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            self._check_local_decl(statement)
+        elif isinstance(statement, ast.Assign):
+            self._check_assign(statement)
+        elif isinstance(statement, ast.If):
+            self._check_expr(statement.condition)
+            self._check_statement(statement.then_body)
+            if statement.else_body is not None:
+                self._check_statement(statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._check_expr(statement.condition)
+            self._in_loop(statement.body)
+        elif isinstance(statement, ast.DoWhile):
+            self._in_loop(statement.body)
+            self._check_expr(statement.condition)
+        elif isinstance(statement, ast.For):
+            self._scopes.append({})
+            if statement.init is not None:
+                self._check_statement(statement.init)
+            if statement.condition is not None:
+                self._check_expr(statement.condition)
+            if statement.step is not None:
+                self._check_statement(statement.step)
+            self._in_loop(statement.body)
+            self._scopes.pop()
+        elif isinstance(statement, ast.Return):
+            expected = self._current.return_type
+            if statement.value is None:
+                if expected is not VOID:
+                    raise SemanticError(
+                        f"{self._current.name!r} must return a value",
+                        line=statement.line)
+            else:
+                if expected is VOID:
+                    raise SemanticError(
+                        f"void function {self._current.name!r} cannot "
+                        f"return a value", line=statement.line)
+                self._check_expr(statement.value)
+        elif isinstance(statement, ast.Break):
+            if not self._loops:
+                raise SemanticError("break outside loop",
+                                    line=statement.line)
+        elif isinstance(statement, ast.Continue):
+            if not self._loops:
+                raise SemanticError("continue outside loop",
+                                    line=statement.line)
+        elif isinstance(statement, ast.Out):
+            self._check_expr(statement.value)
+        elif isinstance(statement, ast.ExprStatement):
+            self._check_expr(statement.expr, allow_void=True)
+        else:
+            raise SemanticError(
+                f"unhandled statement {type(statement).__name__}")
+
+    def _in_loop(self, body):
+        self._loops += 1
+        self._check_statement(body)
+        self._loops -= 1
+
+    def _check_local_decl(self, declaration):
+        name = declaration.name
+        scope = self._scopes[-1]
+        if name in scope:
+            raise SemanticError(f"duplicate local {name!r}",
+                                line=declaration.line)
+        if declaration.type is VOID:
+            raise SemanticError("void variables are not allowed",
+                                line=declaration.line)
+        array_size = None
+        init = None
+        if declaration.array_size is not None:
+            array_size = self._const_value(declaration.array_size)
+            if array_size <= 0:
+                raise SemanticError(
+                    f"array size of {name!r} must be positive",
+                    line=declaration.line)
+            if declaration.initializer is not None:
+                init = [self._const_value(item)
+                        for item in declaration.initializer]
+                if len(init) > array_size:
+                    raise SemanticError(
+                        f"too many initializers for {name!r}",
+                        line=declaration.line)
+        else:
+            if declaration.type is BYTE:
+                raise SemanticError(
+                    f"byte is only usable as an array element type "
+                    f"({name!r})", line=declaration.line)
+            if declaration.initializer is not None:
+                self._check_expr(declaration.initializer)
+        symbol = Symbol(name, declaration.type, "local",
+                        array_size=array_size, init=init)
+        scope[name] = symbol
+        declaration.symbol = symbol
+
+    def _check_assign(self, assignment):
+        target = assignment.target
+        symbol = self._resolve_target(target)
+        if symbol.is_array and isinstance(target, ast.Name):
+            raise SemanticError(
+                f"cannot assign to array {symbol.name!r}",
+                line=assignment.line)
+        self._check_expr(assignment.value)
+        assignment.type = symbol.type
+
+    def _resolve_target(self, target):
+        if isinstance(target, ast.Name):
+            symbol = self._lookup(target.name, target.line)
+            target.symbol = symbol
+            target.type = symbol.type
+            return symbol
+        if isinstance(target, ast.Index):
+            return self._check_index(target)
+        raise SemanticError("bad assignment target", line=target.line)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _lookup(self, name, line):
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise SemanticError(f"undeclared identifier {name!r}", line=line)
+
+    def _check_index(self, node):
+        symbol = self._lookup(node.array.name, node.line)
+        if not symbol.is_array:
+            raise SemanticError(f"{symbol.name!r} is not an array",
+                                line=node.line)
+        node.array.symbol = symbol
+        self._check_expr(node.index)
+        node.symbol = symbol
+        node.type = UINT if symbol.type is BYTE else symbol.type
+        return symbol
+
+    def _check_expr(self, expr, allow_void=False):
+        """Annotate *expr* (and children) with types; returns the type."""
+        if isinstance(expr, ast.Number):
+            expr.type = INT if expr.value <= 0x7FFFFFFF else UINT
+        elif isinstance(expr, ast.Name):
+            symbol = self._lookup(expr.name, expr.line)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"array {expr.name!r} used without subscript",
+                    line=expr.line)
+            expr.symbol = symbol
+            expr.type = symbol.type
+        elif isinstance(expr, ast.Index):
+            self._check_index(expr)
+        elif isinstance(expr, ast.Unary):
+            operand = self._check_expr(expr.operand)
+            expr.type = INT if expr.op == "!" else operand
+        elif isinstance(expr, ast.Binary):
+            left = self._check_expr(expr.left)
+            right = self._check_expr(expr.right)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                expr.type = INT
+                expr.operand_type = UINT if UINT in (left, right) else INT
+            else:
+                expr.type = UINT if UINT in (left, right) else INT
+        elif isinstance(expr, ast.Conditional):
+            self._check_expr(expr.condition)
+            then_type = self._check_expr(expr.then_value)
+            else_type = self._check_expr(expr.else_value)
+            expr.type = UINT if UINT in (then_type, else_type) else INT
+        elif isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand)
+            expr.type = UINT if expr.type_to is BYTE else expr.type_to
+        elif isinstance(expr, ast.Call):
+            info = self.functions.get(expr.name)
+            if info is None:
+                raise SemanticError(f"call to undefined function "
+                                    f"{expr.name!r}", line=expr.line)
+            if len(expr.args) != len(info.params):
+                raise SemanticError(
+                    f"{expr.name!r} expects {len(info.params)} arguments, "
+                    f"got {len(expr.args)}", line=expr.line)
+            for argument in expr.args:
+                self._check_expr(argument)
+            if self._current is not None:
+                self._current.callees.add(expr.name)
+            if info.return_type is VOID and not allow_void:
+                raise SemanticError(
+                    f"void function {expr.name!r} used in an expression",
+                    line=expr.line)
+            expr.type = info.return_type
+        else:
+            raise SemanticError(
+                f"unhandled expression {type(expr).__name__}",
+                line=getattr(expr, "line", None))
+        return expr.type
+
+
+def _fold_binary(op, left, right, line):
+    if op == "+":
+        return (left + right) & _MAX_UINT
+    if op == "-":
+        return (left - right) & _MAX_UINT
+    if op == "*":
+        return (left * right) & _MAX_UINT
+    if op == "/":
+        if right == 0:
+            raise SemanticError("constant division by zero", line=line)
+        return (left // right) & _MAX_UINT
+    if op == "%":
+        if right == 0:
+            raise SemanticError("constant modulo by zero", line=line)
+        return (left % right) & _MAX_UINT
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return (left << (right & 31)) & _MAX_UINT
+    if op == ">>":
+        return (left & _MAX_UINT) >> (right & 31)
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise SemanticError(f"operator {op!r} not allowed in constants",
+                        line=line)

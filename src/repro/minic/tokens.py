@@ -1,0 +1,32 @@
+"""Token definitions for the mini-C language."""
+
+import enum
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "value", "line", "column"])
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "int", "uint", "byte", "void",
+    "if", "else", "while", "do", "for",
+    "return", "break", "continue", "out",
+})
+
+#: Multi-character punctuators, longest first so the lexer can greedily
+#: match.
+PUNCTUATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "?", ":", ";", ",",
+    "(", ")", "{", "}", "[", "]",
+)

@@ -1,0 +1,27 @@
+"""IR-level optimizations applied between codegen and register
+allocation (the moral equivalent of LLVM's mid-end + pre-RA cleanups).
+
+:func:`optimize` is the main entry point; see :mod:`repro.opt.pipeline`
+for the pass registry and the predefined optimization levels.
+"""
+
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import coalesce_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.peephole import run_peephole
+from repro.opt.pipeline import LEVELS, PASSES, optimize, run_pipeline
+from repro.opt.simplify_cfg import simplify_cfg
+from repro.opt.strength import reduce_strength
+
+__all__ = [
+    "LEVELS",
+    "PASSES",
+    "coalesce_copies",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize",
+    "reduce_strength",
+    "run_peephole",
+    "run_pipeline",
+    "simplify_cfg",
+]

@@ -1,0 +1,51 @@
+"""Dead-code elimination.
+
+Deletes instructions whose results are never read and which have no
+side effects (stores, outputs, branches and returns always stay; dead
+*loads* are removed too, like LLVM does — a trap that only a dead load
+could raise does not occur in any valid execution of our benchmarks).
+
+Runs to a fix point: removing one dead instruction can kill the
+instructions feeding it.
+"""
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.liveness import compute_liveness
+
+
+def _has_side_effects(instruction):
+    return (instruction.is_store or instruction.is_terminator
+            or instruction.opcode is Opcode.OUT)
+
+
+def eliminate_dead_code(function):
+    """Return a new finalized function without dead instructions."""
+    current = function
+    while True:
+        liveness = compute_liveness(current)
+        dead = set()
+        for instruction in current.instructions:
+            if _has_side_effects(instruction):
+                continue
+            writes = instruction.data_writes()
+            if not writes:
+                dead.add(instruction.pp)          # e.g. nop
+                continue
+            live_after = liveness.live_after(instruction.pp)
+            if all(reg not in live_after for reg in writes):
+                dead.add(instruction.pp)
+            elif instruction.opcode is Opcode.MV and \
+                    instruction.rd == instruction.rs1:
+                dead.add(instruction.pp)
+        if not dead:
+            return current
+        replacement = Function(current.name, bit_width=current.bit_width,
+                               params=current.params)
+        for block in current.blocks:
+            new_block = replacement.new_block(block.label)
+            for instruction in block.instructions:
+                if instruction.pp not in dead:
+                    new_block.append(instruction.copy())
+        replacement.compact()
+        current = replacement.finalize()

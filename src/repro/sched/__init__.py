@@ -1,0 +1,26 @@
+"""Bit-level vulnerability-aware instruction scheduling (paper §VI-B)."""
+
+from repro.sched.ddg import DependencyGraph
+from repro.sched.list_scheduler import schedule_block, schedule_function
+from repro.sched.policies import (BestReliability, OriginalOrder,
+                                  ScheduleContext, WorstReliability)
+from repro.sched.related import (LiveIntervalMinimizing,
+                                 LookaheadCriticality)
+from repro.sched.vulnerability import (live_fault_sites,
+                                       live_fault_sites_per_cycle,
+                                       total_fault_space)
+
+__all__ = [
+    "BestReliability",
+    "DependencyGraph",
+    "LiveIntervalMinimizing",
+    "LookaheadCriticality",
+    "OriginalOrder",
+    "ScheduleContext",
+    "WorstReliability",
+    "live_fault_sites",
+    "live_fault_sites_per_cycle",
+    "schedule_block",
+    "schedule_function",
+    "total_fault_space",
+]

@@ -1,0 +1,82 @@
+"""Per-basic-block data-dependency graphs for list scheduling.
+
+Edges express "must come before" constraints:
+
+* register true/anti/output dependencies (RAW, WAR, WAW);
+* memory dependencies (stores are ordered among themselves and against
+  loads — the simulator's traces record store order, so it is
+  observable);
+* observable-output order (``out``/stores/``ret`` keep their relative
+  order, because the paper's trace comparison includes program outputs);
+* the block terminator depends on every other instruction.
+
+The scheduler may pick any topological order of this graph; the paper's
+claim that rescheduling changes neither the dynamic instruction count
+nor the number of fault-injection runs holds for every such order.
+"""
+
+
+class DependencyGraph:
+    """DDG over the instructions of one basic block (by local index)."""
+
+    def __init__(self, block):
+        self.block = block
+        count = len(block.instructions)
+        self.successors = [set() for _ in range(count)]
+        self.predecessors = [set() for _ in range(count)]
+        self._build()
+
+    def _add_edge(self, before, after):
+        if before == after:
+            return
+        if after not in self.successors[before]:
+            self.successors[before].add(after)
+            self.predecessors[after].add(before)
+
+    def _build(self):
+        instructions = self.block.instructions
+        last_def = {}
+        reads_since_def = {}
+        last_store = None
+        loads_since_store = []
+        last_observable = None
+
+        for index, instruction in enumerate(instructions):
+            for reg in instruction.data_reads():
+                if reg in last_def:
+                    self._add_edge(last_def[reg], index)       # RAW
+                reads_since_def.setdefault(reg, []).append(index)
+            for reg in instruction.data_writes():
+                if reg in last_def:
+                    self._add_edge(last_def[reg], index)       # WAW
+                for reader in reads_since_def.get(reg, ()):
+                    self._add_edge(reader, index)              # WAR
+                last_def[reg] = index
+                reads_since_def[reg] = []
+            if instruction.is_store:
+                if last_store is not None:
+                    self._add_edge(last_store, index)
+                for load in loads_since_store:
+                    self._add_edge(load, index)
+                last_store = index
+                loads_since_store = []
+            elif instruction.is_load:
+                if last_store is not None:
+                    self._add_edge(last_store, index)
+                loads_since_store.append(index)
+            if instruction.is_observable:
+                if last_observable is not None:
+                    self._add_edge(last_observable, index)
+                last_observable = index
+            if instruction.is_terminator:
+                for earlier in range(index):
+                    self._add_edge(earlier, index)
+
+    def ready(self, scheduled):
+        """Indices whose predecessors are all in *scheduled* (a set)."""
+        return [index for index in range(len(self.successors))
+                if index not in scheduled
+                and self.predecessors[index] <= scheduled]
+
+    def __len__(self):
+        return len(self.successors)

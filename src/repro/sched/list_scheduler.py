@@ -1,0 +1,64 @@
+"""List scheduling with a reliability criterion (paper Algorithm 4).
+
+Classic per-basic-block list scheduling: maintain the set of ready
+instructions (all DDG predecessors scheduled) and repeatedly pick the
+one the policy scores highest.  The output is a new function with the
+same blocks and the same instruction multiset, reordered within blocks.
+
+The rescheduled function is re-finalized, so program points change; all
+analyses must be re-run on the result (the Table IV experiment does
+exactly that).
+"""
+
+from repro.ir.function import Function
+from repro.ir.liveness import compute_liveness
+from repro.sched.ddg import DependencyGraph
+from repro.sched.policies import OriginalOrder, ScheduleContext
+
+
+def schedule_block(block, live_out, policy, bec, width):
+    """Return the block's instructions in scheduled order (new copies)."""
+    graph = DependencyGraph(block)
+    context = ScheduleContext(block, live_out, bec, width, graph=graph)
+    scheduled = set()
+    order = []
+    count = len(block.instructions)
+    ready = set(graph.ready(scheduled))
+    while len(order) < count:
+        best_index = None
+        best_score = None
+        for index in sorted(ready):
+            score = policy.score(context, index)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_index = index
+        index = best_index
+        ready.discard(index)
+        scheduled.add(index)
+        context.mark_scheduled(index)
+        order.append(index)
+        for successor in graph.successors[index]:
+            if successor not in scheduled and \
+                    graph.predecessors[successor] <= scheduled:
+                ready.add(successor)
+    return [block.instructions[index].copy() for index in order]
+
+
+def schedule_function(function, policy=None, bec=None):
+    """Schedule every block of *function*; returns a new finalized
+    :class:`Function`.
+
+    ``bec`` is the BEC analysis of the *input* function; it provides the
+    per-window unmasked-bit counts the reliability policies score with.
+    """
+    policy = policy or OriginalOrder()
+    liveness = compute_liveness(function)
+    result = Function(function.name, bit_width=function.bit_width,
+                      params=function.params)
+    for block in function.blocks:
+        new_block = result.new_block(block.label)
+        live_out = liveness.block_live_out[block.label]
+        for instruction in schedule_block(block, live_out, policy, bec,
+                                          function.bit_width):
+            new_block.append(instruction)
+    return result.finalize()

@@ -1,0 +1,171 @@
+"""Scheduling priority policies (paper Algorithm 4).
+
+The policy decides which *ready* instruction to schedule next.  The
+paper's criterion is "the instruction which kills the most fault sites
+in bits": retiring registers whose windows carry many unmasked bits as
+early as possible shrinks the live fault surface.
+
+Policies receive a :class:`ScheduleContext` describing the partial
+schedule and return a sortable score per candidate — higher schedules
+first.  ``BestReliability``/``WorstReliability`` are the two ends used
+for Table IV's best/worst rows; ``OriginalOrder`` reproduces the input
+order (a sanity baseline).
+"""
+
+
+class ScheduleContext:
+    """Book-keeping shared between the scheduler and its policy.
+
+    Tracks, per register, the reaching definition within the block and
+    how many unscheduled readers that definition still has, so a policy
+    can tell when scheduling a candidate *kills* a register (no further
+    reads of the current value).
+    """
+
+    ENTRY = "entry"
+
+    def __init__(self, block, live_out, bec, width, graph=None):
+        self.block = block
+        self.live_out = live_out
+        self.bec = bec
+        self.width = width
+        self.graph = graph
+        self._heights = None
+        instructions = block.instructions
+        self.reader_counts = {}
+        self._reading = []        # per index: list of (def_key, reg)
+        self._def_key = {}        # reg -> current def key during prescan
+        self._last_def_index = {}
+        for index, instruction in enumerate(instructions):
+            for reg in instruction.data_writes():
+                self._last_def_index[reg] = index
+        current_def = {}
+        for index, instruction in enumerate(instructions):
+            reading = []
+            for reg in instruction.data_reads():
+                key = (current_def.get(reg, self.ENTRY), reg)
+                self.reader_counts[key] = self.reader_counts.get(key, 0) + 1
+                reading.append(key)
+            self._reading.append(reading)
+            for reg in instruction.data_writes():
+                current_def[reg] = index
+        self._remaining = dict(self.reader_counts)
+
+    # -- queries for policies ---------------------------------------------------
+
+    def killed_defs(self, index):
+        """Definitions retired if instruction *index* is scheduled now:
+        the ``(def_index, reg)`` keys whose current value has no other
+        outstanding reader and dies afterwards."""
+        instruction = self.block.instructions[index]
+        writes = set(instruction.data_writes())
+        retired = []
+        counted = set()
+        for def_key in self._reading[index]:
+            if def_key in counted:
+                continue
+            counted.add(def_key)
+            if self._remaining.get(def_key, 0) != 1:
+                continue
+            def_index, reg = def_key
+            if reg in writes:
+                # The candidate immediately redefines the register; the
+                # slot stays occupied, so nothing is retired.
+                continue
+            redefined_later = (
+                self._last_def_index.get(reg) is not None
+                and self._last_def_index[reg] != def_index)
+            if not redefined_later and reg in self.live_out:
+                continue
+            retired.append(def_key)
+        return retired
+
+    def killed_bits(self, index):
+        """Unmasked fault-site bits retired if instruction *index* is
+        scheduled now (the paper's Algorithm 4 criterion)."""
+        return sum(self._window_bits(def_index, reg)
+                   for def_index, reg in self.killed_defs(index))
+
+    def killed_registers(self, index):
+        """Value-level variant of :meth:`killed_bits`: the number of
+        registers retired, regardless of how many of their bits are
+        actually unmasked."""
+        return len(self.killed_defs(index))
+
+    def spawned_bits(self, index):
+        """Unmasked bits of the windows the candidate's writes open."""
+        instruction = self.block.instructions[index]
+        total = 0
+        for reg in instruction.data_writes():
+            total += self._window_bits(index, reg)
+        return total
+
+    def spawned_registers(self, index):
+        """Value-level variant of :meth:`spawned_bits`."""
+        return len(self.block.instructions[index].data_writes())
+
+    def ddg_height(self, index):
+        """Length of the longest dependency chain from *index* to the
+        end of the block (the classic list-scheduling critical path).
+        Requires the context to have been built with a dependency graph.
+        """
+        if self.graph is None:
+            return 0
+        if self._heights is None:
+            count = len(self.block.instructions)
+            heights = [0] * count
+            for node in range(count - 1, -1, -1):
+                successors = self.graph.successors[node]
+                if successors:
+                    heights[node] = 1 + max(heights[s] for s in successors)
+            self._heights = heights
+        return self._heights[index]
+
+    def _window_bits(self, def_index, reg):
+        if def_index == self.ENTRY or self.bec is None:
+            return self.width
+        instruction = self.block.instructions[def_index]
+        if instruction.pp is None:
+            return self.width
+        if not self.bec.fault_space.has_site(instruction.pp, reg):
+            return self.width
+        return self.bec.unmasked_bits(instruction.pp, reg)
+
+    # -- mutation by the scheduler ---------------------------------------------------
+
+    def mark_scheduled(self, index):
+        for def_key in self._reading[index]:
+            if def_key in self._remaining:
+                self._remaining[def_key] -= 1
+
+
+class OriginalOrder:
+    """Keeps the input instruction order (baseline)."""
+
+    name = "original"
+
+    def score(self, context, index):
+        return -index
+
+
+class BestReliability:
+    """Maximize killed unmasked bits, minimize newly spawned ones
+    (Table IV row "Best reliability")."""
+
+    name = "best"
+
+    def score(self, context, index):
+        return (context.killed_bits(index),
+                -context.spawned_bits(index),
+                -index)
+
+
+class WorstReliability:
+    """The adversarial opposite (Table IV row "Worst reliability")."""
+
+    name = "worst"
+
+    def score(self, context, index):
+        return (-context.killed_bits(index),
+                context.spawned_bits(index),
+                -index)

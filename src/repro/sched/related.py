@@ -1,0 +1,49 @@
+"""Value-level scheduling policies from the related work (paper §VII-C).
+
+The paper positions BEC against two established reliability-aware
+scheduling strategies, both of which reason about whole registers:
+
+* **Xu et al. [39]** schedule to shrink the overall length of register
+  live intervals — retire values as early as possible, open new ones as
+  late as possible, counting *registers*.
+  :class:`LiveIntervalMinimizing` reproduces that criterion; it is
+  exactly the paper's Algorithm 4 with the bit-level kill count replaced
+  by a value-level one, so comparing the two isolates what analyzing
+  bits (rather than values) buys.
+* **Rehman et al. [38]** prioritize reliability-critical instructions by
+  looking ahead in the instruction sequence.  In a single-issue,
+  unit-latency model, the natural lookahead criterion is the dependency
+  height of the candidate (how long a chain still hangs off it):
+  draining long chains first shortens the time values sit live waiting
+  for their consumers.  :class:`LookaheadCriticality` implements that,
+  with live-interval pressure as the tie-break.
+
+Both policies plug into :func:`repro.sched.list_scheduler.schedule_function`
+unchanged; the ``policy-comparison`` experiment and bench run them
+head-to-head against the paper's bit-level policy.
+"""
+
+
+class LiveIntervalMinimizing:
+    """Xu-style value-level policy: kill the most registers, spawn the
+    fewest."""
+
+    name = "live-interval"
+
+    def score(self, context, index):
+        return (context.killed_registers(index),
+                -context.spawned_registers(index),
+                -index)
+
+
+class LookaheadCriticality:
+    """Rehman-style lookahead policy: schedule the instruction with the
+    longest outstanding dependency chain first."""
+
+    name = "lookahead"
+
+    def score(self, context, index):
+        return (context.ddg_height(index),
+                context.killed_registers(index),
+                -context.spawned_registers(index),
+                -index)

@@ -1,0 +1,77 @@
+"""The BEC result on the paper's Fig. 4 coalescing walkthrough.
+
+The original snippet uses an SSA φ; our non-SSA encoding lowers it to
+two ``mv`` instructions (see repro.bench.coalescing_fig4).  The checks
+below correspond to the final index assignment of Fig. 4c:
+
+* ``v``'s windows lose bits 2 and 3 to [s0] (all three readers discard
+  them: the andi keeps only bit 0, the shifts push them out);
+* bits 0 and 1 of ``v`` stay in singleton classes (the readers map them
+  to *different* targets, so the intersection is empty);
+* ``m``'s bits 1..3 coalesce through the ``beqz`` eval rule ("16 16 16
+  13" in the figure);
+* the shift results keep singleton per-bit classes.
+"""
+
+import pytest
+
+from repro.bench.coalescing_fig4 import (PP_ANDI, PP_BEQZ, PP_MV_A,
+                                         PP_MV_B, PP_SLLI_V4, PP_SLLI_V8,
+                                         fig4_function)
+from repro.bec.analysis import run_bec
+
+
+@pytest.fixture(scope="module")
+def fig4_bec():
+    return run_bec(fig4_function())
+
+
+class TestVWindows:
+    @pytest.mark.parametrize("pp", [PP_MV_A, PP_MV_B, PP_ANDI])
+    def test_high_bits_masked(self, fig4_bec, pp):
+        assert fig4_bec.is_masked(pp, "v", 2)
+        assert fig4_bec.is_masked(pp, "v", 3)
+
+    @pytest.mark.parametrize("pp", [PP_MV_A, PP_MV_B, PP_ANDI])
+    def test_low_bits_not_masked(self, fig4_bec, pp):
+        assert not fig4_bec.is_masked(pp, "v", 0)
+        assert not fig4_bec.is_masked(pp, "v", 1)
+
+    def test_low_bits_not_tied(self, fig4_bec):
+        assert fig4_bec.class_of(PP_MV_A, "v", 0) != \
+            fig4_bec.class_of(PP_MV_A, "v", 1)
+
+    def test_arms_not_merged_with_each_other(self, fig4_bec):
+        # The two arm windows feed different dynamic paths; nothing
+        # justifies merging them (their uses map to different targets).
+        assert fig4_bec.class_of(PP_MV_A, "v", 0) != \
+            fig4_bec.class_of(PP_MV_B, "v", 0)
+
+
+class TestMWindow:
+    def test_bits_1_to_3_coalesce(self, fig4_bec):
+        classes = {fig4_bec.class_of(PP_ANDI, "m", bit)
+                   for bit in (1, 2, 3)}
+        assert len(classes) == 1
+
+    def test_bit_0_separate(self, fig4_bec):
+        assert fig4_bec.class_of(PP_ANDI, "m", 0) != \
+            fig4_bec.class_of(PP_ANDI, "m", 1)
+
+    def test_m_not_masked(self, fig4_bec):
+        # A flip of a high bit of m diverts the branch: live, just
+        # mutually equivalent.
+        assert not fig4_bec.is_masked(PP_ANDI, "m", 2)
+
+    def test_m_dead_after_branch(self, fig4_bec):
+        for bit in range(4):
+            assert fig4_bec.is_masked(PP_BEQZ, "m", bit)
+
+
+class TestShiftResults:
+    @pytest.mark.parametrize("pp,reg", [(PP_SLLI_V4, "v4"),
+                                        (PP_SLLI_V8, "v8")])
+    def test_singleton_classes(self, fig4_bec, pp, reg):
+        classes = {fig4_bec.class_of(pp, reg, bit) for bit in range(4)}
+        assert len(classes) == 4
+        assert 0 not in classes

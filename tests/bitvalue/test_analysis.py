@@ -1,0 +1,165 @@
+"""Tests for the global bit-value analysis (Algorithm 1 / SCCP)."""
+
+from repro.ir.parser import parse_function
+from repro.bitvalue.analysis import compute_bit_values
+
+
+class TestMotivatingExample:
+    """The k values of paper Fig. 2b."""
+
+    def test_constants_after_li(self, motivating_function):
+        values = compute_bit_values(motivating_function)
+        assert str(values.after(0, "v0")) == "0000"
+        assert str(values.after(1, "v1")) == "0111"
+
+    def test_induction_variable_is_top(self, motivating_function):
+        values = compute_bit_values(motivating_function)
+        assert str(values.after(4, "v1")) == "xxxx"
+
+    def test_andi_masks(self, motivating_function):
+        values = compute_bit_values(motivating_function)
+        assert str(values.after(2, "v2")) == "000x"
+        assert str(values.after(3, "v3")) == "00xx"
+
+    def test_boolean_results(self, motivating_function):
+        values = compute_bit_values(motivating_function)
+        assert str(values.after(5, "v2")) == "000x"
+        assert str(values.after(6, "v3")) == "000x"
+        assert str(values.after(7, "v2")) == "000x"
+
+    def test_before_merges_loop_definitions(self, motivating_function):
+        values = compute_bit_values(motivating_function)
+        # At p2, v1 merges the initial 0111 with the decremented top.
+        assert str(values.before(2, "v1")) == "xxxx"
+
+
+class TestStraightLine:
+    def test_constant_folding_through_ops(self):
+        source = """
+func f width=8
+bb.entry:
+    li a, 0x0F
+    li b, 0x3C
+    and c, a, b
+    or d, a, b
+    xor e, a, b
+    ret e
+"""
+        function = parse_function(source)
+        values = compute_bit_values(function)
+        assert values.after(2, "c").value == 0x0C
+        assert values.after(3, "d").value == 0x3F
+        assert values.after(4, "e").value == 0x33
+
+
+class TestJoins:
+    SOURCE = """
+func f width=4 params=c
+bb.entry:
+    bnez c, bb.b
+bb.a:
+    li v, 4
+    j bb.join
+bb.b:
+    li v, 6
+bb.join:
+    ret v
+"""
+
+    def test_meet_of_two_constants(self):
+        function = parse_function(self.SOURCE)
+        values = compute_bit_values(function)
+        # 0100 meet 0110 = 01x0, observed by the ret at p4.
+        assert str(values.before(4, "v")) == "01x0"
+
+
+class TestConditionalConstantPropagation:
+    """The "conditional" in SCCP: statically-dead edges do not pollute
+    the meet."""
+
+    SOURCE = """
+func f width=4
+bb.entry:
+    li c, 0
+    bnez c, bb.dead
+bb.live:
+    li v, 5
+    j bb.join
+bb.dead:
+    li v, 9
+bb.join:
+    ret v
+"""
+
+    def test_dead_edge_excluded(self):
+        function = parse_function(self.SOURCE)
+        values = compute_bit_values(function)
+        assert values.before(5, "v").value == 5
+
+    def test_dead_block_not_executable(self):
+        function = parse_function(self.SOURCE)
+        values = compute_bit_values(function)
+        assert not values.is_executable(4)      # li v, 9
+        assert values.is_executable(2)
+
+
+class TestParams:
+    def test_params_are_top(self):
+        function = parse_function("""
+func f width=4 params=x
+bb.entry:
+    andi y, x, 3
+    ret y
+""")
+        values = compute_bit_values(function)
+        assert str(values.before(0, "x")) == "xxxx"
+        assert str(values.after(0, "y")) == "00xx"
+
+    def test_zero_register_reads_as_zero(self):
+        function = parse_function("""
+func f width=4 params=x
+bb.entry:
+    add y, x, zero
+    ret y
+""")
+        values = compute_bit_values(function)
+        assert str(values.before(0, "zero")) == "0000"
+        assert str(values.after(0, "y")) == "xxxx"
+
+
+class TestLoopFixpoint:
+    def test_loop_invariant_bits_survive(self):
+        # The low bit of v stays 1 through the whole loop (adds of 2).
+        source = """
+func f width=4
+bb.entry:
+    li v, 1
+    li i, 3
+bb.loop:
+    addi v, v, 2
+    addi i, i, -1
+    bnez i, bb.loop
+bb.exit:
+    ret v
+"""
+        function = parse_function(source)
+        values = compute_bit_values(function)
+        assert values.before(4, "v").bit(0).value == "1"
+
+    def test_widening_not_needed_for_termination(self):
+        # A loop whose body mixes many operations still converges.
+        source = """
+func f width=8 params=n
+bb.entry:
+    li acc, 0
+bb.loop:
+    slli t, acc, 1
+    xori acc, t, 0x5A
+    addi n, n, -1
+    bnez n, bb.loop
+bb.exit:
+    ret acc
+"""
+        function = parse_function(source)
+        values = compute_bit_values(function)
+        assert values.after(1, "t") is not None

@@ -1,0 +1,134 @@
+"""Tests for the bit lattice and BitVector (paper Fig. 3a/3b)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvalue.lattice import Bit, BitVector, bit_meet
+
+
+def bitvectors(width=4):
+    """Hypothesis strategy for arbitrary abstract vectors."""
+    @st.composite
+    def build(draw):
+        ones = zeros = bot = 0
+        for index in range(width):
+            kind = draw(st.sampled_from("01tx"))
+            if kind == "0":
+                zeros |= 1 << index
+            elif kind == "1":
+                ones |= 1 << index
+            elif kind == "t":
+                bot |= 1 << index
+        return BitVector(width, ones=ones, zeros=zeros, bot=bot)
+    return build()
+
+
+class TestBitMeet:
+    """The ∧ table from paper Fig. 3b."""
+
+    TABLE = {
+        (Bit.BOT, Bit.BOT): Bit.BOT,
+        (Bit.BOT, Bit.ZERO): Bit.ZERO,
+        (Bit.BOT, Bit.ONE): Bit.ONE,
+        (Bit.BOT, Bit.TOP): Bit.TOP,
+        (Bit.ZERO, Bit.ZERO): Bit.ZERO,
+        (Bit.ZERO, Bit.ONE): Bit.TOP,
+        (Bit.ZERO, Bit.TOP): Bit.TOP,
+        (Bit.ONE, Bit.ONE): Bit.ONE,
+        (Bit.ONE, Bit.TOP): Bit.TOP,
+        (Bit.TOP, Bit.TOP): Bit.TOP,
+    }
+
+    @pytest.mark.parametrize("a,b", list(TABLE))
+    def test_table(self, a, b):
+        assert bit_meet(a, b) == self.TABLE[(a, b)]
+        assert bit_meet(b, a) == self.TABLE[(a, b)]  # commutative
+
+    def test_associativity(self):
+        bits = [Bit.BOT, Bit.ZERO, Bit.ONE, Bit.TOP]
+        for a in bits:
+            for b in bits:
+                for c in bits:
+                    assert bit_meet(bit_meet(a, b), c) == \
+                        bit_meet(a, bit_meet(b, c))
+
+
+class TestBitVector:
+    def test_constructors(self):
+        assert str(BitVector.const(4, 7)) == "0111"
+        assert str(BitVector.top(4)) == "xxxx"
+        assert str(BitVector.bottom(4)) == "????"
+
+    def test_from_string_round_trip(self):
+        vector = BitVector.from_string("0x1?")
+        assert vector.bit(0) is Bit.BOT
+        assert vector.bit(1) is Bit.ONE
+        assert vector.bit(2) is Bit.TOP
+        assert vector.bit(3) is Bit.ZERO
+        assert str(vector) == "0x1?"
+
+    def test_disjoint_masks_enforced(self):
+        with pytest.raises(ValueError):
+            BitVector(4, ones=1, zeros=1)
+
+    def test_constant_value(self):
+        assert BitVector.const(8, 0x5A).value == 0x5A
+        assert BitVector.from_string("0x10").value is None
+
+    def test_min_max_unsigned(self):
+        vector = BitVector.from_string("0x10")
+        assert vector.min_unsigned() == 0b0010
+        assert vector.max_unsigned() == 0b0110
+
+    def test_min_max_signed(self):
+        vector = BitVector.from_string("x001")
+        assert vector.min_signed() == -7     # 1001 as 4-bit two's compl.
+        assert vector.max_signed() == 1      # 0001
+
+    def test_trailing_known_zeros(self):
+        assert BitVector.from_string("x100").trailing_known_zeros() == 2
+        assert BitVector.const(4, 0).trailing_known_zeros() == 4
+
+    def test_meet_matches_paper_example(self):
+        a = BitVector.from_string("00x1")
+        b = BitVector.from_string("0011")
+        assert str(a.meet(b)) == "00x1"
+
+    def test_meet_zero_one_gives_top(self):
+        a = BitVector.const(4, 0b0101)
+        b = BitVector.const(4, 0b0110)
+        assert str(a.meet(b)) == "01xx"
+
+
+class TestLatticeProperties:
+    @given(bitvectors(), bitvectors())
+    def test_meet_commutative(self, a, b):
+        assert a.meet(b) == b.meet(a)
+
+    @given(bitvectors(), bitvectors(), bitvectors())
+    def test_meet_associative(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(bitvectors())
+    def test_meet_idempotent(self, a):
+        assert a.meet(a) == a
+
+    @given(bitvectors())
+    def test_bottom_is_identity(self, a):
+        assert BitVector.bottom(a.width).meet(a) == a
+
+    @given(bitvectors())
+    def test_meet_raises_in_lattice(self, a):
+        top = BitVector.top(a.width)
+        assert a.meet(top) == top
+
+    @given(bitvectors(), bitvectors())
+    def test_meet_is_upper_bound(self, a, b):
+        merged = a.meet(b)
+        assert a.le(merged)
+        assert b.le(merged)
+
+    @given(bitvectors())
+    def test_min_le_max(self, a):
+        assert a.min_unsigned() <= a.max_unsigned()
+        assert a.min_signed() <= a.max_signed()

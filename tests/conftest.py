@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bench.motivating import count_years, count_years_scheduled
+from repro.bec.analysis import run_bec
+from repro.fi.machine import Machine
+
+
+@pytest.fixture(scope="session")
+def motivating_function():
+    return count_years()
+
+
+@pytest.fixture(scope="session")
+def motivating_scheduled_function():
+    return count_years_scheduled()
+
+
+@pytest.fixture(scope="session")
+def motivating_bec(motivating_function):
+    return run_bec(motivating_function)
+
+
+@pytest.fixture(scope="session")
+def motivating_machine(motivating_function):
+    return Machine(motivating_function, memory_size=256)
+
+
+@pytest.fixture(scope="session")
+def motivating_golden(motivating_machine):
+    return motivating_machine.run()

@@ -1,0 +1,37 @@
+"""Tests for the policy-comparison extension experiment."""
+
+import pytest
+
+from repro.experiments import policy_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return policy_comparison.run_experiment(
+        names=("bitcount", "adpcm_dec"))
+
+
+def test_all_policies_reported(result):
+    for row in result["rows"]:
+        for policy in policy_comparison.POLICIES:
+            assert policy.name in row
+            assert row[policy.name] > 0
+
+
+def test_reliability_policies_beat_worst(result):
+    for row in result["rows"]:
+        assert row["best"] <= row["worst"]
+        assert row["live-interval"] <= row["worst"]
+
+
+def test_bit_vs_value_ratio(result):
+    for row in result["rows"]:
+        expected = 100.0 * row["best"] / row["live-interval"]
+        assert row["bit_vs_value_percent"] == pytest.approx(expected)
+
+
+def test_render_mentions_every_benchmark(result):
+    rendered = policy_comparison.render(result)
+    assert "bitcount" in rendered
+    assert "live-interval" in rendered
+    assert "% of value-level" in rendered

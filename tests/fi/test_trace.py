@@ -1,0 +1,62 @@
+"""Tests for execution traces."""
+
+from repro.fi.trace import Trace
+
+
+def make_trace(executed=(0, 1, 2), outputs=(7,), stores=((4, 1, 4),),
+               returned=0, outcome="ok", trap=None):
+    trace = Trace()
+    trace.executed = list(executed)
+    trace.outputs = list(outputs)
+    trace.stores = list(stores)
+    trace.returned = returned
+    trace.outcome = outcome
+    trace.trap_kind = trap
+    trace.cycles = len(trace.executed)
+    return trace
+
+
+class TestEquality:
+    def test_identical_traces_equal(self):
+        assert make_trace().same_as(make_trace())
+
+    def test_different_path_differs(self):
+        assert not make_trace().same_as(make_trace(executed=(0, 2, 1)))
+
+    def test_different_output_differs(self):
+        assert not make_trace().same_as(make_trace(outputs=(8,)))
+
+    def test_different_store_differs(self):
+        assert not make_trace().same_as(make_trace(stores=((4, 2, 4),)))
+
+    def test_outcome_matters(self):
+        assert not make_trace().same_as(make_trace(outcome="trap",
+                                                   trap="load-oob"))
+
+    def test_architectural_key_ignores_path(self):
+        a = make_trace(executed=(0, 1, 2))
+        b = make_trace(executed=(0, 2, 2))
+        assert a.architectural_key() == b.architectural_key()
+
+
+class TestSignature:
+    def test_signature_matches_equality(self):
+        assert make_trace().signature() == make_trace().signature()
+
+    def test_signature_distinguishes(self):
+        pairs = [
+            (make_trace(), make_trace(outputs=(8,))),
+            (make_trace(), make_trace(executed=(0, 1))),
+            (make_trace(), make_trace(returned=1)),
+            (make_trace(), make_trace(outcome="timeout")),
+        ]
+        for a, b in pairs:
+            assert a.signature() != b.signature()
+
+    def test_signature_is_compact(self):
+        assert len(make_trace().signature()) == 16
+
+    def test_byte_size_scales_with_length(self):
+        short = make_trace(executed=(0,))
+        long = make_trace(executed=tuple(range(100)))
+        assert long.byte_size() > short.byte_size()

@@ -1,0 +1,89 @@
+"""Tests for the random program generator itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.printer import format_function
+from repro.ir.randgen import GeneratorConfig, generate_function, random_inputs
+from repro.ir.validate import validate_function
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        assert format_function(generate_function(42)) == \
+            format_function(generate_function(42))
+
+    def test_different_seeds_differ(self):
+        rendered = {format_function(generate_function(seed))
+                    for seed in range(8)}
+        assert len(rendered) > 1
+
+    def test_random_inputs_deterministic(self):
+        function = generate_function(3)
+        assert random_inputs(1, function) == random_inputs(1, function)
+
+
+class TestConfigValidation:
+    def test_rejects_too_few_registers(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(registers=1)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(width=1)
+
+    def test_params_clamped_to_pool(self):
+        config = GeneratorConfig(registers=3, params=10)
+        assert config.params == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_generated_programs_are_valid(seed):
+    function = generate_function(seed)
+    validate_function(function)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_generated_programs_terminate(seed):
+    function = generate_function(seed)
+    trace = Machine(function).run(
+        regs=random_inputs(seed, function), max_cycles=50_000)
+    assert trace.outcome == "ok"
+    assert trace.executed[-1] is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_generated_programs_end_with_ret(seed):
+    function = generate_function(seed)
+    assert function.instructions[-1].opcode is Opcode.RET
+
+
+def test_memory_ops_can_be_disabled():
+    config = GeneratorConfig(memory_ops=False, structures=6, max_ops=6)
+    for seed in range(20):
+        function = generate_function(seed, config)
+        assert not any(i.is_memory_op for i in function.instructions)
+
+
+def test_memory_ops_appear_with_default_config():
+    found = False
+    for seed in range(30):
+        function = generate_function(seed)
+        if any(i.is_memory_op for i in function.instructions):
+            found = True
+            break
+    assert found
+
+
+def test_control_flow_appears():
+    branches = 0
+    for seed in range(20):
+        function = generate_function(seed)
+        branches += sum(1 for i in function.instructions
+                        if i.is_conditional_branch)
+    assert branches > 0

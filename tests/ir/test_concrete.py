@@ -1,0 +1,139 @@
+"""Tests for the concrete ALU semantics, including the RISC-V division
+corner cases, plus property-based checks against Python reference
+semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.concrete import (alu, branch_taken, mask, to_signed,
+                               to_unsigned, truncate, unary)
+from repro.ir.instructions import Opcode
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(4) == 0xF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_to_signed_roundtrip(self):
+        assert to_signed(0xFFFFFFFF, 32) == -1
+        assert to_signed(0x7FFFFFFF, 32) == 0x7FFFFFFF
+        assert to_unsigned(-1, 32) == 0xFFFFFFFF
+
+    def test_truncate(self):
+        assert truncate(0x123, 8) == 0x23
+
+
+class TestDivisionCornerCases:
+    """RISC-V M-extension: division never traps."""
+
+    def test_div_by_zero_is_all_ones(self):
+        assert alu(Opcode.DIV, 42, 0, 32) == 0xFFFFFFFF
+
+    def test_divu_by_zero_is_all_ones(self):
+        assert alu(Opcode.DIVU, 42, 0, 32) == 0xFFFFFFFF
+
+    def test_rem_by_zero_is_dividend(self):
+        assert alu(Opcode.REM, 42, 0, 32) == 42
+        assert alu(Opcode.REMU, 42, 0, 32) == 42
+
+    def test_signed_overflow(self):
+        minimum = 0x80000000
+        minus_one = 0xFFFFFFFF
+        assert alu(Opcode.DIV, minimum, minus_one, 32) == minimum
+        assert alu(Opcode.REM, minimum, minus_one, 32) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert to_signed(alu(Opcode.DIV, to_unsigned(-7, 32), 2, 32),
+                         32) == -3
+        assert to_signed(alu(Opcode.REM, to_unsigned(-7, 32), 2, 32),
+                         32) == -1
+
+
+class TestShifts:
+    def test_shift_amount_masked(self):
+        assert alu(Opcode.SLL, 1, 33, 32) == 2     # 33 & 31 == 1
+
+    def test_sra_sign_extends(self):
+        assert alu(Opcode.SRA, 0x80000000, 4, 32) == 0xF8000000
+
+    def test_srl_zero_extends(self):
+        assert alu(Opcode.SRL, 0x80000000, 4, 32) == 0x08000000
+
+
+class TestUnary:
+    def test_seqz_snez(self):
+        assert unary(Opcode.SEQZ, 0, 32) == 1
+        assert unary(Opcode.SEQZ, 5, 32) == 0
+        assert unary(Opcode.SNEZ, 0, 32) == 0
+        assert unary(Opcode.SNEZ, 5, 32) == 1
+
+    def test_neg_not(self):
+        assert unary(Opcode.NEG, 1, 32) == 0xFFFFFFFF
+        assert unary(Opcode.NOT, 0, 4) == 0xF
+
+
+class TestBranches:
+    def test_signed_vs_unsigned(self):
+        big = 0x80000000                  # -2^31 signed
+        assert branch_taken(Opcode.BLT, big, 1, 32)       # signed: less
+        assert not branch_taken(Opcode.BLTU, big, 1, 32)  # unsigned: not
+
+    @pytest.mark.parametrize("opcode,a,b,expected", [
+        (Opcode.BEQ, 5, 5, True),
+        (Opcode.BNE, 5, 5, False),
+        (Opcode.BGE, 5, 5, True),
+        (Opcode.BGEU, 0, 1, False),
+        (Opcode.BEQZ, 0, 0, True),
+        (Opcode.BNEZ, 1, 0, True),
+    ])
+    def test_table(self, opcode, a, b, expected):
+        assert branch_taken(opcode, a, b, 32) is expected
+
+
+class TestProperties:
+    @given(WORDS, WORDS)
+    def test_add_matches_python(self, a, b):
+        assert alu(Opcode.ADD, a, b, 32) == (a + b) & 0xFFFFFFFF
+
+    @given(WORDS, WORDS)
+    def test_sub_matches_python(self, a, b):
+        assert alu(Opcode.SUB, a, b, 32) == (a - b) & 0xFFFFFFFF
+
+    @given(WORDS, WORDS)
+    def test_mul_matches_python(self, a, b):
+        assert alu(Opcode.MUL, a, b, 32) == (a * b) & 0xFFFFFFFF
+        assert alu(Opcode.MULHU, a, b, 32) == ((a * b) >> 32) & 0xFFFFFFFF
+
+    @given(WORDS, WORDS)
+    def test_bitwise_match_python(self, a, b):
+        assert alu(Opcode.AND, a, b, 32) == a & b
+        assert alu(Opcode.OR, a, b, 32) == a | b
+        assert alu(Opcode.XOR, a, b, 32) == a ^ b
+
+    @given(WORDS, st.integers(min_value=1, max_value=0xFFFFFFFF))
+    def test_divu_remu_invariant(self, a, b):
+        quotient = alu(Opcode.DIVU, a, b, 32)
+        remainder = alu(Opcode.REMU, a, b, 32)
+        assert quotient * b + remainder == a
+
+    @given(WORDS, WORDS)
+    def test_div_rem_invariant_signed(self, a, b):
+        quotient = to_signed(alu(Opcode.DIV, a, b, 32), 32)
+        remainder = to_signed(alu(Opcode.REM, a, b, 32), 32)
+        sa, sb = to_signed(a, 32), to_signed(b, 32)
+        if sb != 0 and not (sa == -(1 << 31) and sb == -1):
+            assert quotient * sb + remainder == sa
+
+    @given(WORDS)
+    def test_neg_is_sub_from_zero(self, a):
+        assert unary(Opcode.NEG, a, 32) == alu(Opcode.SUB, 0, a, 32)
+
+    @given(WORDS, WORDS)
+    def test_slt_consistent_with_branch(self, a, b):
+        assert alu(Opcode.SLT, a, b, 32) == \
+            int(branch_taken(Opcode.BLT, a, b, 32))
+        assert alu(Opcode.SLTU, a, b, 32) == \
+            int(branch_taken(Opcode.BLTU, a, b, 32))

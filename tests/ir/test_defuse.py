@@ -1,0 +1,67 @@
+"""Tests for the use(p, v) chains."""
+
+from repro.ir.defuse import compute_use_chains
+from repro.ir.parser import parse_function
+
+
+class TestMotivatingExample:
+    def test_use_of_v2_after_def(self, motivating_function):
+        chains = compute_use_chains(motivating_function)
+        assert chains.use(2, "v2") == (5,)
+
+    def test_use_spans_reads_until_write(self, motivating_function):
+        chains = compute_use_chains(motivating_function)
+        # v0 written at p8 is read by p8 (next iteration) and p10.
+        assert chains.use(8, "v0") == (8, 10)
+
+    def test_write_blocks_chain(self, motivating_function):
+        chains = compute_use_chains(motivating_function)
+        # v1 written at p4: read at p9, then p2, p3 and p4 itself next
+        # iteration; the write at p4 stops the chain.
+        assert chains.use(4, "v1") == (2, 3, 4, 9)
+
+    def test_read_window_excludes_self(self, motivating_function):
+        chains = compute_use_chains(motivating_function)
+        # After p2 reads v1, the remaining readers before the write at
+        # p4 are p3 and p4 itself (p4 reads before writing); p9 reads
+        # the *new* value, so it is not in the chain.
+        assert chains.use(2, "v1") == (3, 4)
+
+
+class TestForkJoin:
+    SOURCE = """
+func f width=4 params=a,b,c
+bb.entry:
+    bnez c, bb.arm_b
+bb.arm_a:
+    mv v, a
+    j bb.join
+bb.arm_b:
+    mv v, b
+bb.join:
+    andi m, v, 1
+    beqz m, bb.even
+bb.odd:
+    slli v4, v, 2
+    ret v4
+bb.even:
+    slli v8, v, 3
+    ret v8
+"""
+
+    def test_use_reaches_all_branches(self):
+        function = parse_function(self.SOURCE)
+        chains = compute_use_chains(function)
+        # v defined in either arm is read at the andi and both shifts.
+        assert chains.use(1, "v") == (4, 6, 8)
+        assert chains.use(3, "v") == (4, 6, 8)
+
+    def test_use_after_read_keeps_later_readers(self):
+        function = parse_function(self.SOURCE)
+        chains = compute_use_chains(function)
+        assert chains.use(4, "v") == (6, 8)
+
+    def test_ret_counts_as_reader(self):
+        function = parse_function(self.SOURCE)
+        chains = compute_use_chains(function)
+        assert chains.use(6, "v4") == (7,)   # ret v4

@@ -1,0 +1,119 @@
+"""Tests for Function/BasicBlock structure and CFG wiring."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.parser import parse_function
+
+LOOP = """
+func loop width=4
+bb.entry:
+    li a, 3
+bb.head:
+    addi a, a, -1
+    bnez a, bb.head
+bb.exit:
+    ret a
+"""
+
+
+class TestCFG:
+    def test_fallthrough_edge(self):
+        function = parse_function(LOOP)
+        entry = function.block("bb.entry")
+        assert [b.label for b in entry.succs] == ["bb.head"]
+
+    def test_conditional_branch_edges(self):
+        function = parse_function(LOOP)
+        head = function.block("bb.head")
+        labels = sorted(b.label for b in head.succs)
+        assert labels == ["bb.exit", "bb.head"]
+
+    def test_predecessors(self):
+        function = parse_function(LOOP)
+        head = function.block("bb.head")
+        assert sorted(b.label for b in head.preds) == \
+            ["bb.entry", "bb.head"]
+
+    def test_ret_has_no_successors(self):
+        function = parse_function(LOOP)
+        assert function.block("bb.exit").succs == []
+
+    def test_fallthrough_past_end_rejected(self):
+        builder = IRBuilder("bad", bit_width=4)
+        builder.block("bb.entry")
+        builder.li("a", 1)
+        with pytest.raises(IRError):
+            builder.build()
+
+    def test_terminator_mid_block_rejected(self):
+        source = """
+func bad width=4
+bb.a:
+    ret
+    li a, 1
+"""
+        with pytest.raises(IRError):
+            parse_function(source)
+
+    def test_duplicate_label_rejected(self):
+        builder = IRBuilder("bad")
+        builder.block("bb.a")
+        with pytest.raises(IRError):
+            builder.block("bb.a")
+
+
+class TestRegisters:
+    def test_register_universe(self, motivating_function):
+        assert motivating_function.registers() == ["v0", "v1", "v2", "v3"]
+
+    def test_zero_not_in_universe(self):
+        source = """
+func f width=4
+bb.a:
+    add a, zero, zero
+    ret a
+"""
+        function = parse_function(source)
+        assert function.registers() == ["a"]
+
+
+class TestCompact:
+    def test_empty_block_removed_and_redirected(self):
+        function = parse_function(LOOP)
+        clone = function.copy()
+        # Build an equivalent function with an empty block in the middle.
+        from repro.ir.function import Function
+        with_empty = Function("loop", bit_width=4)
+        entry = with_empty.new_block("bb.entry")
+        for instruction in clone.block("bb.entry").instructions:
+            entry.append(instruction.copy())
+        with_empty.new_block("bb.empty")      # falls through to head
+        for label in ("bb.head", "bb.exit"):
+            block = with_empty.new_block(label)
+            for instruction in clone.block(label).instructions:
+                block.append(instruction.copy())
+        # Point the loop branch at the empty block.
+        with_empty.block("bb.head").instructions[-1].label = "bb.empty"
+        with_empty.compact()
+        with_empty.finalize()
+        labels = [b.label for b in with_empty.blocks]
+        assert "bb.empty" not in labels
+        branch = with_empty.block("bb.head").instructions[-1]
+        assert branch.label == "bb.head"
+
+    def test_copy_preserves_structure(self, motivating_function):
+        clone = motivating_function.copy()
+        assert len(clone.instructions) == \
+            len(motivating_function.instructions)
+        assert [b.label for b in clone.blocks] == \
+            [b.label for b in motivating_function.blocks]
+
+    def test_finalize_required(self):
+        from repro.ir.function import Function
+        function = Function("f")
+        function.new_block("bb").append(
+            parse_function(LOOP).instruction_at(0).copy())
+        with pytest.raises(IRError):
+            _ = function.instructions

@@ -1,0 +1,117 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.instructions import (Instruction, Opcode, branch, branchz,
+                                   jump, li, load, mv, out, ret, rri, rrr,
+                                   store)
+
+
+class TestConstruction:
+    def test_rrr(self):
+        instruction = rrr(Opcode.ADD, "a", "b", "c")
+        assert instruction.rd == "a"
+        assert instruction.reads() == ("b", "c")
+        assert instruction.writes() == ("a",)
+
+    def test_rri(self):
+        instruction = rri(Opcode.ADDI, "a", "b", -1)
+        assert instruction.imm == -1
+        assert instruction.reads() == ("b",)
+
+    def test_li_has_no_reads(self):
+        assert li("a", 7).reads() == ()
+
+    def test_mv(self):
+        instruction = mv("a", "b")
+        assert instruction.reads() == ("b",)
+        assert instruction.writes() == ("a",)
+
+    def test_load_reads_base(self):
+        instruction = load(Opcode.LW, "a", "base", 8)
+        assert instruction.reads() == ("base",)
+        assert instruction.writes() == ("a",)
+
+    def test_store_reads_value_and_base(self):
+        instruction = store(Opcode.SW, "value", "base", 4)
+        assert instruction.reads() == ("value", "base")
+        assert instruction.writes() == ()
+
+    def test_branch_reads_both(self):
+        instruction = branch(Opcode.BLT, "a", "b", "loop")
+        assert instruction.reads() == ("a", "b")
+        assert instruction.is_terminator
+        assert instruction.is_conditional_branch
+
+    def test_branchz_reads_one(self):
+        instruction = branchz(Opcode.BNEZ, "a", "loop")
+        assert instruction.reads() == ("a",)
+
+    def test_jump_is_unconditional(self):
+        instruction = jump("exit")
+        assert instruction.is_terminator
+        assert not instruction.is_conditional_branch
+
+    def test_ret_with_value(self):
+        assert ret("v0").reads() == ("v0",)
+
+    def test_ret_without_value(self):
+        assert ret().reads() == ()
+
+    def test_out_is_observable(self):
+        assert out("v0").is_observable
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, rd="a", rs1="b")  # rs2 missing
+
+    def test_unknown_opcode_name(self):
+        from repro.ir.instructions import opcode_from_name
+        with pytest.raises(IRError):
+            opcode_from_name("frobnicate")
+
+
+class TestZeroRegister:
+    def test_data_reads_exclude_zero(self):
+        instruction = rrr(Opcode.ADD, "a", "zero", "b")
+        assert instruction.reads() == ("zero", "b")
+        assert instruction.data_reads() == ("b",)
+
+    def test_data_writes_exclude_zero(self):
+        instruction = rrr(Opcode.ADD, "zero", "a", "b")
+        assert instruction.data_writes() == ()
+
+    def test_data_accesses_deduplicate(self):
+        instruction = rrr(Opcode.ADD, "a", "a", "a")
+        assert instruction.data_accesses() == ("a",)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("text", [
+        "add a, b, c",
+        "addi a, b, -1",
+        "li a, 7",
+        "mv a, b",
+        "lw a, 4(base)",
+        "sw value, 0(base)",
+        "beq a, b, target",
+        "bnez a, target",
+        "j target",
+        "ret v0",
+        "ret",
+        "out v0",
+        "nop",
+    ])
+    def test_str_round_trips_through_parser(self, text):
+        from repro.ir.parser import parse_instruction
+        instruction = parse_instruction(text)
+        again = parse_instruction(str(instruction))
+        assert str(again) == str(instruction)
+
+    def test_copy_is_fresh(self):
+        instruction = rrr(Opcode.ADD, "a", "b", "c")
+        instruction.pp = 17
+        clone = instruction.copy()
+        assert clone.pp is None
+        assert str(clone) == str(instruction)

@@ -1,0 +1,95 @@
+"""Tests for value-level liveness (kill sets and windows)."""
+
+from repro.ir.liveness import compute_liveness
+from repro.ir.parser import parse_function
+
+
+class TestMotivatingExample(object):
+    """Liveness facts used throughout the paper's Fig. 2."""
+
+    def test_v0_live_throughout_loop(self, motivating_function):
+        liveness = compute_liveness(motivating_function)
+        for pp in range(2, 10):
+            assert "v0" in liveness.live_after(pp)
+
+    def test_v3_killed_at_and(self, motivating_function):
+        liveness = compute_liveness(motivating_function)
+        assert "v3" in liveness.kill(7)
+
+    def test_v2_killed_at_add(self, motivating_function):
+        liveness = compute_liveness(motivating_function)
+        assert "v2" in liveness.kill(8)
+
+    def test_v0_killed_at_ret(self, motivating_function):
+        liveness = compute_liveness(motivating_function)
+        assert "v0" in liveness.kill(10)
+
+    def test_windows_per_iteration(self, motivating_function):
+        """The paper's footnote † decomposition: per loop iteration v1
+        has 4 windows, v2 has 3, v3 has 2, v0 has 1."""
+        liveness = compute_liveness(motivating_function)
+        windows = {}
+        for pp in range(2, 10):
+            for reg in liveness.live_windows(pp):
+                windows[reg] = windows.get(reg, 0) + 1
+        assert windows == {"v0": 1, "v1": 4, "v2": 3, "v3": 2}
+
+
+class TestBranches:
+    SOURCE = """
+func f width=4 params=c
+bb.entry:
+    li a, 1
+    li b, 2
+    bnez c, bb.then
+bb.else:
+    mv r, b
+    j bb.end
+bb.then:
+    mv r, a
+bb.end:
+    ret r
+"""
+
+    def test_both_arms_keep_sources_live(self):
+        function = parse_function(self.SOURCE)
+        liveness = compute_liveness(function)
+        after_branch = liveness.live_after(2)
+        assert {"a", "b"} <= set(after_branch)
+
+    def test_arm_kills_its_source(self):
+        function = parse_function(self.SOURCE)
+        liveness = compute_liveness(function)
+        assert "b" in liveness.kill(3)      # mv r, b in bb.else
+        assert "a" in liveness.kill(5)      # mv r, a in bb.then
+
+    def test_live_before_entry_is_params_only(self):
+        function = parse_function(self.SOURCE)
+        liveness = compute_liveness(function)
+        assert liveness.block_live_in["bb.entry"] == frozenset({"c"})
+
+
+class TestLoopCarried:
+    SOURCE = """
+func f width=4
+bb.entry:
+    li acc, 0
+    li i, 5
+bb.loop:
+    add acc, acc, i
+    addi i, i, -1
+    bnez i, bb.loop
+bb.exit:
+    ret acc
+"""
+
+    def test_accumulator_live_around_backedge(self):
+        function = parse_function(self.SOURCE)
+        liveness = compute_liveness(function)
+        # After the bnez, acc is live along the backedge.
+        assert "acc" in liveness.live_after(4)
+
+    def test_dead_after_final_use(self):
+        function = parse_function(self.SOURCE)
+        liveness = compute_liveness(function)
+        assert liveness.live_after(5) == frozenset()

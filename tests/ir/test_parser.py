@@ -1,0 +1,88 @@
+"""Tests for the textual IR parser and printer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.parser import parse_function, parse_instruction, parse_module
+from repro.ir.printer import format_function
+
+SIMPLE = """
+func f width=8 params=a
+bb.entry:
+    addi b, a, 1    # comment
+    ret b
+"""
+
+
+class TestParsing:
+    def test_function_header(self):
+        function = parse_function(SIMPLE)
+        assert function.name == "f"
+        assert function.bit_width == 8
+        assert function.params == ("a",)
+
+    def test_program_points_assigned(self):
+        function = parse_function(SIMPLE)
+        assert [i.pp for i in function.instructions] == [0, 1]
+
+    def test_comments_ignored(self):
+        function = parse_function(SIMPLE)
+        assert len(function.instructions) == 2
+
+    def test_hex_immediates(self):
+        instruction = parse_instruction("andi a, b, 0xFF")
+        assert instruction.imm == 255
+
+    def test_negative_immediates(self):
+        instruction = parse_instruction("addi a, b, -42")
+        assert instruction.imm == -42
+
+    def test_memory_operand(self):
+        instruction = parse_instruction("lw a, -8(sp)")
+        assert instruction.rs1 == "sp"
+        assert instruction.imm == -8
+
+    def test_module_with_two_functions(self):
+        module = parse_module(SIMPLE + "\n" + SIMPLE.replace("func f",
+                                                             "func g"))
+        assert [f.name for f in module] == ["f", "g"]
+
+    def test_round_trip(self):
+        function = parse_function(SIMPLE)
+        text = format_function(function)
+        again = parse_function(text)
+        assert format_function(again) == text
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(Exception):
+            parse_function("func f\nbb:\n    bogus a, b\n")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(ParseError):
+            parse_module("addi a, b, 1")
+
+    def test_instruction_before_block(self):
+        with pytest.raises(ParseError):
+            parse_module("func f\naddi a, b, 1")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add a, b")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(ParseError):
+            parse_instruction("lw a, b")
+
+    def test_bad_immediate(self):
+        with pytest.raises(ParseError):
+            parse_instruction("li a, seven")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_module("func f\nbb.entry:\n    add a, b\n")
+        except ParseError as error:
+            assert error.line == 3
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,71 @@
+"""Tests for IR validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.parser import parse_function
+from repro.ir.validate import reachable_blocks, validate_function
+
+
+def test_valid_function_passes(motivating_function):
+    assert validate_function(motivating_function) is motivating_function
+
+
+def test_read_before_definition_rejected():
+    source = """
+func f width=4
+bb.entry:
+    addi a, undefined_reg, 1
+    ret a
+"""
+    with pytest.raises(IRError, match="read before definition"):
+        validate_function(parse_function(source))
+
+
+def test_params_are_defined():
+    source = """
+func f width=4 params=x
+bb.entry:
+    addi a, x, 1
+    ret a
+"""
+    validate_function(parse_function(source))
+
+
+def test_unreachable_block_rejected():
+    source = """
+func f width=4
+bb.entry:
+    li a, 1
+    ret a
+bb.dead:
+    li b, 2
+    ret b
+"""
+    function = parse_function(source)
+    with pytest.raises(IRError, match="unreachable"):
+        validate_function(function)
+    validate_function(function, allow_unreachable=True)
+
+
+def test_reachable_blocks(motivating_function):
+    assert reachable_blocks(motivating_function) == \
+        {"bb.entry", "bb.loop", "bb.exit"}
+
+
+def test_partially_defined_register_rejected():
+    # `b` defined on one path only, then read unconditionally.
+    source = """
+func f width=4 params=c
+bb.entry:
+    bnez c, bb.skip
+bb.define:
+    li b, 1
+    j bb.use
+bb.skip:
+    li a, 0
+bb.use:
+    ret b
+"""
+    with pytest.raises(IRError, match="read before definition"):
+        validate_function(parse_function(source))

@@ -1,0 +1,284 @@
+"""Behavioural tests for mini-C code generation.
+
+Each program is compiled and *executed* on the simulator; the observed
+outputs are compared against plain-Python evaluations of the same
+computation.  This validates the whole pipeline (codegen + optimizer +
+register allocator + simulator) per language feature.
+"""
+
+import pytest
+
+from repro.fi.machine import Machine
+from repro.minic.compiler import compile_source
+
+
+def run(source, *args, **compile_kwargs):
+    program = compile_source(source, **compile_kwargs)
+    machine = Machine(program.function,
+                      memory_image=program.memory_image)
+    trace = machine.run(regs=program.initial_regs(*args))
+    assert trace.outcome == "ok", trace
+    return trace
+
+
+def returned_signed(trace):
+    value = trace.returned
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("10 - 3 - 2", 5),
+        ("17 / 5", 3),
+        ("17 % 5", 2),
+        ("-17 / 5", -3),                 # C truncation toward zero
+        ("-17 % 5", -2),
+        ("6 & 3", 2),
+        ("6 | 3", 7),
+        ("6 ^ 3", 5),
+        ("~0", -1),
+        ("1 << 10", 1024),
+        ("-16 >> 2", -4),                # arithmetic shift for int
+        ("5 > 3", 1),
+        ("5 <= 3", 0),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("!7", 0),
+        ("!0", 1),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 3", 1),
+        ("0 || 0", 0),
+        ("1 ? 42 : 7", 42),
+        ("0 ? 42 : 7", 7),
+    ])
+    def test_expression(self, expr, expected):
+        trace = run(f"int main() {{ return {expr}; }}")
+        assert returned_signed(trace) == expected
+
+    def test_unsigned_division_and_shift(self):
+        trace = run("""
+int main() {
+    uint a = 0xFFFFFFF0;
+    out((int)(a / 16));
+    out((int)(a >> 4));
+    out((int)(a % 7));
+    return 0;
+}
+""")
+        assert trace.outputs == [0xFFFFFFF0 // 16, 0xFFFFFFF0 >> 4,
+                                 0xFFFFFFF0 % 7]
+
+    def test_unsigned_comparison(self):
+        trace = run("""
+int main() {
+    uint big = 0x80000000;
+    uint one = 1;
+    return big < one;        // unsigned: false
+}
+""")
+        assert trace.returned == 0
+
+    def test_signed_comparison(self):
+        trace = run("""
+int main() {
+    int big = (int)0x80000000;   // INT_MIN
+    return big < 1;              // signed: true
+}
+""")
+        assert trace.returned == 1
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+int classify(int x) {
+    if (x < 0) return -1;
+    else if (x == 0) return 0;
+    else return 1;
+}
+int main(int x) { return classify(x); }
+"""
+        assert returned_signed(run(source, 5)) == 1
+        assert returned_signed(run(source, 0)) == 0
+        assert returned_signed(run(source, 0xFFFFFFFF)) == -1
+
+    def test_while_loop(self):
+        trace = run("""
+int main() {
+    int total = 0;
+    int i = 1;
+    while (i <= 10) { total += i; i++; }
+    return total;
+}
+""")
+        assert trace.returned == 55
+
+    def test_do_while_runs_once(self):
+        trace = run("""
+int main() {
+    int n = 0;
+    do { n++; } while (0);
+    return n;
+}
+""")
+        assert trace.returned == 1
+
+    def test_break_continue(self):
+        trace = run("""
+int main() {
+    int total = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        total += i;
+    }
+    return total;     // 1+3+5+7+9
+}
+""")
+        assert trace.returned == 25
+
+    def test_nested_loops(self):
+        trace = run("""
+int main() {
+    int count = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            if (i != j) count++;
+    return count;
+}
+""")
+        assert trace.returned == 12
+
+    def test_short_circuit_avoids_side_effects(self):
+        trace = run("""
+int counter = 0;
+int bump() { counter += 1; return 1; }
+int main() {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    out(counter);
+    return a + b;
+}
+""")
+        assert trace.outputs == [0]
+        assert trace.returned == 1
+
+
+class TestArraysAndGlobals:
+    def test_global_scalar_updates(self):
+        trace = run("""
+int g = 5;
+void double_g() { g = g * 2; }
+int main() { double_g(); double_g(); return g; }
+""")
+        assert trace.returned == 20
+
+    def test_array_read_write(self):
+        trace = run("""
+int t[5];
+int main() {
+    for (int i = 0; i < 5; i++) t[i] = i * i;
+    int total = 0;
+    for (int i = 0; i < 5; i++) total += t[i];
+    return total;
+}
+""")
+        assert trace.returned == 30
+
+    def test_byte_array_wraps(self):
+        trace = run("""
+byte b[4];
+int main() {
+    b[0] = 300;          // stored as 300 & 0xFF
+    return (int)b[0];
+}
+""")
+        assert trace.returned == 44
+
+    def test_local_array_initializer(self):
+        trace = run("""
+int main() {
+    int t[4] = {10, 20, 30, 40};
+    return t[0] + t[3];
+}
+""")
+        assert trace.returned == 50
+
+    def test_constant_index_vs_dynamic(self):
+        trace = run("""
+int t[4] = {9, 8, 7, 6};
+int main(int i) { return t[2] + t[i]; }
+""", 1)
+        assert trace.returned == 15
+
+
+class TestFunctionsAndInlining:
+    def test_nested_calls(self):
+        trace = run("""
+int square(int x) { return x * x; }
+int sum_squares(int a, int b) { return square(a) + square(b); }
+int main() { return sum_squares(3, 4); }
+""")
+        assert trace.returned == 25
+
+    def test_call_in_loop(self):
+        trace = run("""
+int inc(int x) { return x + 1; }
+int main() {
+    int v = 0;
+    for (int i = 0; i < 5; i++) v = inc(v);
+    return v;
+}
+""")
+        assert trace.returned == 5
+
+    def test_void_function(self):
+        trace = run("""
+int log[2];
+void record(int slot, int value) { log[slot] = value; }
+int main() { record(0, 7); record(1, 9); return log[0] + log[1]; }
+""")
+        assert trace.returned == 16
+
+    def test_early_return_in_callee(self):
+        trace = run("""
+int clamp(int x) {
+    if (x > 10) return 10;
+    return x;
+}
+int main() { return clamp(42) + clamp(3); }
+""")
+        assert trace.returned == 13
+
+    def test_arguments_evaluated_before_body(self):
+        trace = run("""
+int g = 1;
+int read_g() { return g; }
+int set_and_add(int snapshot) { g = 100; return snapshot + g; }
+int main() { return set_and_add(read_g()); }
+""")
+        assert trace.returned == 101
+
+
+class TestEntryParameters:
+    def test_params_reach_argument_registers(self):
+        program = compile_source("int main(int a, int b) { return a - b; }")
+        assert program.param_regs == ["a0", "a1"]
+        trace = Machine(program.function,
+                        memory_image=program.memory_image).run(
+            regs=program.initial_regs(10, 4))
+        assert trace.returned == 6
+
+    def test_unoptimized_build_matches(self):
+        source = """
+int main(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += i * i;
+    return acc;
+}
+"""
+        optimized = run(source, 6)
+        plain = run(source, 6, optimize=False)
+        assert optimized.returned == plain.returned == 55

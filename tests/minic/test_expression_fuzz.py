@@ -1,0 +1,127 @@
+"""Differential testing of the compiler: random expressions are compiled
+and executed, and the result is compared against an independent Python
+evaluation with C semantics (32-bit two's complement, truncating
+division, RISC-V division corner cases).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.machine import Machine
+from repro.minic.compiler import compile_source
+
+MASK = 0xFFFFFFFF
+
+
+def to_signed(value):
+    value &= MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def eval_int(op, a, b):
+    """C `int` semantics of a binary operator on raw 32-bit images."""
+    sa, sb = to_signed(a), to_signed(b)
+    if op == "+":
+        return (sa + sb) & MASK
+    if op == "-":
+        return (sa - sb) & MASK
+    if op == "*":
+        return (sa * sb) & MASK
+    if op == "/":
+        if sb == 0:
+            return MASK                        # RISC-V: -1
+        if sa == -(1 << 31) and sb == -1:
+            return 1 << 31
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return quotient & MASK
+    if op == "%":
+        if sb == 0:
+            return a & MASK
+        if sa == -(1 << 31) and sb == -1:
+            return 0
+        remainder = abs(sa) % abs(sb)
+        if sa < 0:
+            remainder = -remainder
+        return remainder & MASK
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return (a << (b & 31)) & MASK
+    if op == ">>":
+        return (sa >> (b & 31)) & MASK
+    if op == "<":
+        return int(sa < sb)
+    if op == ">=":
+        return int(sa >= sb)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    raise AssertionError(op)
+
+
+class Expr:
+    """A random expression tree with its Python evaluation."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value & MASK
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            value = draw(st.integers(0, 0x7FFFFFFF))
+            return Expr(str(value), value)
+        if choice == 1:
+            return Expr("x", draw(st.shared(
+                st.integers(0, MASK), key="x_value")))
+        return Expr("y", draw(st.shared(
+            st.integers(0, MASK), key="y_value")))
+    op = draw(st.sampled_from(
+        ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+         "<", ">=", "==", "!="]))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return Expr(f"({left.text} {op} {right.text})",
+                eval_int(op, left.value, right.value))
+
+
+class TestExpressionFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_compiled_matches_python(self, data):
+        expr = data.draw(expressions())
+        x = data.draw(st.shared(st.integers(0, MASK), key="x_value"))
+        y = data.draw(st.shared(st.integers(0, MASK), key="y_value"))
+        source = (f"int main(int x, int y) "
+                  f"{{ return {expr.text}; }}")
+        program = compile_source(source)
+        machine = Machine(program.function,
+                          memory_image=program.memory_image)
+        trace = machine.run(regs=program.initial_regs(x, y))
+        assert trace.outcome == "ok"
+        assert trace.returned == expr.value, source
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_optimizer_agrees_with_baseline(self, data):
+        expr = data.draw(expressions())
+        x = data.draw(st.shared(st.integers(0, MASK), key="x_value"))
+        y = data.draw(st.shared(st.integers(0, MASK), key="y_value"))
+        source = f"int main(int x, int y) {{ return {expr.text}; }}"
+        results = []
+        for optimize in (True, False):
+            program = compile_source(source, optimize=optimize)
+            machine = Machine(program.function,
+                              memory_image=program.memory_image)
+            results.append(machine.run(
+                regs=program.initial_regs(x, y)).returned)
+        assert results[0] == results[1]

@@ -1,0 +1,77 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+
+
+def kinds(source):
+    return [(token.kind, token.value) for token in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("int foo while whilefoo")
+        assert tokens == [
+            (TokenKind.KEYWORD, "int"),
+            (TokenKind.IDENT, "foo"),
+            (TokenKind.KEYWORD, "while"),
+            (TokenKind.IDENT, "whilefoo"),
+        ]
+
+    def test_decimal_and_hex_numbers(self):
+        tokens = kinds("42 0x2A 0")
+        assert [value for _, value in tokens] == [42, 42, 0]
+
+    def test_character_literals(self):
+        tokens = kinds("'A' '\\n' '\\0'")
+        assert [value for _, value in tokens] == [65, 10, 0]
+
+    def test_multi_char_punctuators_greedy(self):
+        tokens = kinds("a <<= b >> c >= d == e")
+        puncts = [v for k, v in tokens if k is TokenKind.PUNCT]
+        assert puncts == ["<<=", ">>", ">=", "=="]
+
+    def test_increment_vs_plus(self):
+        tokens = kinds("a++ + b")
+        puncts = [v for k, v in tokens if k is TokenKind.PUNCT]
+        assert puncts == ["++", "+"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_bad_number_suffix(self):
+        with pytest.raises(ParseError):
+            tokenize("123abc")
+
+    def test_bad_hex(self):
+        with pytest.raises(ParseError):
+            tokenize("0x")

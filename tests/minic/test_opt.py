@@ -1,0 +1,152 @@
+"""Tests for the optimization passes (copy coalescing + DCE)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_function
+from repro.opt.copyprop import coalesce_copies
+from repro.opt.dce import eliminate_dead_code
+
+
+def run(function, regs=None):
+    return Machine(function, memory_size=128).run(regs=regs)
+
+
+class TestDCE:
+    def test_removes_unused_result(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 1
+    li b, 2
+    add dead, a, b
+    ret a
+""")
+        swept = eliminate_dead_code(function)
+        assert len(swept.instructions) == 2
+
+    def test_cascading_removal(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 1
+    addi b, a, 1
+    addi c, b, 1
+    li r, 9
+    ret r
+""")
+        swept = eliminate_dead_code(function)
+        assert len(swept.instructions) == 2
+
+    def test_keeps_side_effects(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 1
+    sw a, 0(zero)
+    out a
+    ret
+""")
+        swept = eliminate_dead_code(function)
+        assert len(swept.instructions) == 4
+
+    def test_behaviour_preserved(self):
+        function = parse_function("""
+func f width=8 params=n
+bb.entry:
+    li acc, 0
+    li waste, 42
+bb.loop:
+    add acc, acc, n
+    addi waste2, waste, 1
+    addi n, n, -1
+    bnez n, bb.loop
+bb.exit:
+    ret acc
+""")
+        swept = eliminate_dead_code(function)
+        assert run(function, {"n": 5}).returned == \
+            run(swept, {"n": 5}).returned == 15
+        assert len(swept.instructions) < len(function.instructions)
+
+
+class TestCopyCoalescing:
+    def test_simple_chain_collapses(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 7
+    mv b, a
+    mv c, b
+    out c
+    ret c
+""")
+        coalesced = coalesce_copies(function)
+        moves = [i for i in coalesced.instructions
+                 if i.opcode is Opcode.MV]
+        assert moves == []
+        assert run(coalesced).outputs == [7]
+
+    def test_interfering_copy_kept(self):
+        # b is modified while a is still live: cannot share a register.
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 7
+    mv b, a
+    addi b, b, 1
+    add c, a, b
+    ret c
+""")
+        coalesced = coalesce_copies(function)
+        assert run(coalesced).returned == 15
+        moves = [i for i in coalesced.instructions
+                 if i.opcode is Opcode.MV]
+        assert len(moves) == 1
+
+    def test_loop_carried_copy(self):
+        function = parse_function("""
+func f width=8 params=n
+bb.entry:
+    li acc, 0
+bb.loop:
+    add t, acc, n
+    mv acc, t
+    addi n, n, -1
+    bnez n, bb.loop
+bb.exit:
+    ret acc
+""")
+        coalesced = coalesce_copies(function)
+        assert run(coalesced, {"n": 4}).returned == 10
+
+    def test_param_name_survives(self):
+        function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    mv y, x
+    addi z, y, 1
+    ret z
+""")
+        coalesced = coalesce_copies(function)
+        assert "x" in coalesced.params
+        assert run(coalesced, {"x": 9}).returned == 10
+
+
+class TestOptimizedProgramsBehave:
+    """Optimizations must preserve the architectural behaviour (outputs,
+    memory effects, return value) of arbitrary programs."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_random_programs_unchanged(self, seed):
+        from tests.bec.program_gen import random_function
+        from repro.opt import optimize
+        function = random_function(seed)
+        optimized = optimize(function)
+        original = run(function)
+        transformed = run(optimized)
+        assert transformed.architectural_key() == \
+            original.architectural_key()
+        assert len(optimized.instructions) <= len(function.instructions)

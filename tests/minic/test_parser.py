@@ -1,0 +1,125 @@
+"""Tests for the mini-C parser (AST shapes and precedence)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.parser import parse_source
+
+
+def parse_expr(text):
+    program = parse_source(f"int main() {{ return {text}; }}")
+    return program.functions[0].body.statements[0].value
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_shift_vs_additive(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_bitwise_hierarchy(self):
+        expr = parse_expr("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_comparison_below_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Conditional)
+        assert isinstance(expr.else_value, ast.Conditional)
+
+    def test_unary_chains(self):
+        expr = parse_expr("-~!a")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_cast(self):
+        expr = parse_expr("(uint)x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.Cast)
+
+
+class TestStatements:
+    def test_compound_assignment(self):
+        program = parse_source("int main() { int x = 0; x += 2; return x; }")
+        assign = program.functions[0].body.statements[1]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+="
+
+    def test_increment_desugars(self):
+        program = parse_source("int main() { int x = 0; x++; return x; }")
+        assign = program.functions[0].body.statements[1]
+        assert assign.op == "+="
+        assert isinstance(assign.value, ast.Number)
+
+    def test_for_with_decl(self):
+        program = parse_source(
+            "int main() { for (int i = 0; i < 3; i++) { } return 0; }")
+        loop = program.functions[0].body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.LocalDecl)
+
+    def test_dangling_else(self):
+        program = parse_source("""
+int main() {
+    if (1) if (2) return 1; else return 2;
+    return 3;
+}
+""")
+        outer = program.functions[0].body.statements[0]
+        assert outer.else_body is None
+        assert outer.then_body.else_body is not None
+
+    def test_do_while(self):
+        program = parse_source(
+            "int main() { int x = 0; do { x++; } while (x < 3); return x; }")
+        loop = program.functions[0].body.statements[1]
+        assert isinstance(loop, ast.DoWhile)
+
+
+class TestDeclarations:
+    def test_global_array_with_initializer(self):
+        program = parse_source("int t[3] = {1, 2, 3}; int main() { return 0; }")
+        decl = program.globals[0]
+        assert isinstance(decl.initializer, list)
+        assert len(decl.initializer) == 3
+
+    def test_trailing_comma_in_initializer(self):
+        program = parse_source("int t[3] = {1, 2,}; int main() { return 0; }")
+        assert len(program.globals[0].initializer) == 2
+
+    def test_function_params(self):
+        program = parse_source("int f(int a, uint b) { return a; } "
+                               "int main() { return f(1, 2); }")
+        assert [name for _, name in program.functions[0].params] == \
+            ["a", "b"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "int main() { return 1 + ; }",
+        "int main() { if (1) }",
+        "int main() { 3 = x; }",
+        "int main() { int x = 1 }",
+        "int main( { return 0; }",
+        "int main() { x[0][1] = 2; }",
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_source(source)

@@ -1,0 +1,116 @@
+"""Tests for linear-scan register allocation, especially spilling."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.fi.machine import Machine
+from repro.ir.registers import ZERO
+from repro.minic.compiler import compile_source
+
+#: A program with enough simultaneously-live values to overflow a small
+#: register pool.
+PRESSURE = """
+int main() {
+    int a = 1; int b = 2; int c = 3; int d = 4;
+    int e = 5; int f = 6; int g = 7; int h = 8;
+    int i = 9; int j = 10;
+    int x = a + b + c + d + e + f + g + h + i + j;
+    int y = a * b + c * d + e * f + g * h + i * j;
+    return x * 100 + y;
+}
+"""
+EXPECTED = (55 * 100) + (2 + 12 + 30 + 56 + 90)
+
+
+def run_with_pool(source, pool, *args):
+    program = compile_source(source, pool=pool)
+    machine = Machine(program.function,
+                      memory_image=program.memory_image)
+    trace = machine.run(regs=program.initial_regs(*args))
+    assert trace.outcome == "ok"
+    return program, trace
+
+
+class TestAllocation:
+    def test_default_pool_no_spills(self):
+        program = compile_source(PRESSURE)
+        # With 27 registers nothing spills: no stores in straight-line.
+        assert not any(i.is_store
+                       for i in program.function.instructions)
+
+    def test_small_pool_spills_and_stays_correct(self):
+        pool = [f"t{i}" for i in range(6)]
+        program, trace = run_with_pool(PRESSURE, pool)
+        assert trace.returned == EXPECTED
+        assert any(i.is_store for i in program.function.instructions)
+
+    @pytest.mark.parametrize("size", [4, 5, 8, 12])
+    def test_various_pool_sizes(self, size):
+        pool = [f"t{i}" for i in range(size)]
+        _, trace = run_with_pool(PRESSURE, pool)
+        assert trace.returned == EXPECTED
+
+    def test_loops_with_tiny_pool(self):
+        source = """
+int main(int n) {
+    int a = 0; int b = 1; int c = 2; int d = 3; int e = 4;
+    for (int i = 0; i < n; i++) {
+        a += b; b += c; c += d; d += e; e += a;
+    }
+    return a + b + c + d + e;
+}
+"""
+        reference, _ = run_with_pool(source, [f"t{i}" for i in range(20)],
+                                     7)
+        reference_trace = Machine(
+            reference.function,
+            memory_image=reference.memory_image).run(
+            regs=reference.initial_regs(7))
+        _, tiny_trace = run_with_pool(source, [f"t{i}" for i in range(5)],
+                                      7)
+        assert tiny_trace.returned == reference_trace.returned
+
+    def test_physical_registers_only(self):
+        pool = [f"t{i}" for i in range(6)]
+        program, _ = run_with_pool(PRESSURE, pool)
+        allowed = set(pool) | {"a0", "a1", ZERO} | \
+            {"x28", "x29", "x30"}
+        for instruction in program.function.instructions:
+            for reg in instruction.reads() + instruction.writes():
+                assert reg in allowed, reg
+
+    def test_spilled_params_work(self):
+        source = """
+int main(int a, int b, int c) {
+    int x0 = 1; int x1 = 2; int x2 = 3; int x3 = 4; int x4 = 5;
+    int total = x0 + x1 + x2 + x3 + x4;
+    return total + a * 100 + b * 10 + c;
+}
+"""
+        _, trace = run_with_pool(source, [f"t{i}" for i in range(4)],
+                                 1, 2, 3)
+        assert trace.returned == 15 + 123
+
+    def test_too_many_params_rejected(self):
+        params = ", ".join(f"int p{i}" for i in range(9))
+        source = f"int main({params}) {{ return p0; }}"
+        with pytest.raises(AnalysisError, match="too many parameters"):
+            compile_source(source)
+
+
+class TestSpillSlots:
+    def test_slots_outside_data_segment(self):
+        source = "int t[8] = {1,2,3,4,5,6,7,8};\n" + PRESSURE.replace(
+            "int main() {", "int main() { int z = t[7];").replace(
+            "return x * 100 + y;", "return x * 100 + y + z;")
+        pool = [f"t{i}" for i in range(5)]
+        program, trace = run_with_pool(source, pool)
+        assert trace.returned == EXPECTED + 8
+        # Spill stores must land beyond the globals.
+        table_end = program.layout["t"][0] + 8 * 4
+        for instruction in program.function.instructions:
+            if instruction.is_store and instruction.rs1 == ZERO:
+                if instruction.imm >= table_end:
+                    break
+        else:
+            pytest.fail("no spill slot beyond the data segment")

@@ -1,0 +1,133 @@
+"""Tests for mini-C semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic.parser import parse_source
+from repro.minic.sema import analyze
+
+
+def check(source, entry="main"):
+    return analyze(parse_source(source), entry=entry)
+
+
+class TestAccepted:
+    def test_minimal(self):
+        analyzed = check("int main() { return 0; }")
+        assert "main" in analyzed.functions
+
+    def test_global_initializers_folded(self):
+        analyzed = check("""
+int size = 4 * 8;
+uint mask = ~0;
+int table[2 + 2] = {1 << 4, 'A', -1, 0x10};
+int main() { return size; }
+""")
+        assert analyzed.globals["size"].init == 32
+        assert analyzed.globals["mask"].init == 0xFFFFFFFF
+        assert analyzed.globals["table"].array_size == 4
+        assert analyzed.globals["table"].init == [16, 65, 0xFFFFFFFF, 16]
+
+    def test_shadowing_in_blocks(self):
+        check("""
+int main() {
+    int x = 1;
+    { int x = 2; out(x); }
+    return x;
+}
+""")
+
+    def test_call_graph_collected(self):
+        analyzed = check("""
+int helper(int a) { return a + 1; }
+int main() { return helper(1) + helper(2); }
+""")
+        assert analyzed.functions["main"].callees == {"helper"}
+
+
+class TestTypeAnnotation:
+    def test_uint_propagates(self):
+        analyzed = check("""
+int main() {
+    uint a = 1;
+    int b = 2;
+    return (int)(a + b);
+}
+""")
+        statements = analyzed.functions["main"].definition.body.statements
+        add = statements[2].value.operand
+        from repro.minic.ast import UINT
+        assert add.type is UINT
+
+    def test_comparison_is_int(self):
+        analyzed = check("int main() { uint a = 1; return a < 2; }")
+        statements = analyzed.functions["main"].definition.body.statements
+        comparison = statements[1].value
+        from repro.minic.ast import INT, UINT
+        assert comparison.type is INT
+        assert comparison.operand_type is UINT
+
+    def test_byte_index_reads_as_uint(self):
+        analyzed = check("""
+byte t[4] = {1, 2, 3, 4};
+int main() { return (int)t[0]; }
+""")
+        statements = analyzed.functions["main"].definition.body.statements
+        from repro.minic.ast import UINT
+        assert statements[0].value.operand.type is UINT
+
+
+class TestRejected:
+    @pytest.mark.parametrize("source,match", [
+        ("int main() { return x; }", "undeclared"),
+        ("int main() { int x = 1; int x = 2; return x; }", "duplicate"),
+        ("int main() { break; }", "break outside"),
+        ("int main() { continue; }", "continue outside"),
+        ("void f() { } int main() { return f(); }", "void function"),
+        ("int main() { return g(); }", "undefined function"),
+        ("int f(int a) { return a; } int main() { return f(); }",
+         "expects 1 arguments"),
+        ("int t[2]; int main() { return t; }", "without subscript"),
+        ("int x; int main() { return x[0]; }", "not an array"),
+        ("int t[2]; int main() { t = 1; return 0; }", "assign to array"),
+        ("int t[0]; int main() { return 0; }", "must be positive"),
+        ("int t[2] = {1,2,3}; int main() { return 0; }",
+         "too many initializers"),
+        ("int x = y; int main() { return 0; }", "not a compile-time"),
+        ("byte b; int main() { return 0; }", "array element type"),
+        ("int x = 1/0; int main() { return 0; }", "division by zero"),
+        ("int main() { } int main() { }", "duplicate function"),
+        ("void f() { return 1; } int main() { return 0; }",
+         "cannot return a value"),
+        ("int f() { return; } int main() { return 0; }",
+         "must return a value"),
+    ])
+    def test_error(self, source, match):
+        with pytest.raises(SemanticError, match=match):
+            check(source)
+
+    def test_missing_entry(self):
+        with pytest.raises(SemanticError, match="entry function"):
+            check("int helper() { return 0; }")
+
+    def test_direct_recursion(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("int f(int n) { return f(n - 1); } "
+                  "int main() { return f(3); }")
+
+    def test_mutual_recursion(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("""
+int f(int n) { return g(n); }
+int g(int n) { return f(n); }
+int main() { return f(3); }
+""")
+
+
+class TestRecursionCheckScope:
+    def test_unreachable_recursion_ignored(self):
+        # Recursion in a function never called from the entry is fine.
+        check("""
+int lonely(int n) { return lonely(n); }
+int main() { return 0; }
+""")

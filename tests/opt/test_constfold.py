@@ -1,0 +1,166 @@
+"""Tests for bit-value-driven constant and branch folding."""
+
+import pytest
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_function
+from repro.opt.constfold import fold_constants
+
+
+def fold_to_fixpoint(function, rounds=8):
+    for _ in range(rounds):
+        folded = fold_constants(function)
+        if folded is function:
+            return function
+        function = folded
+    return function
+
+
+def opcodes(function):
+    return [i.opcode for i in function.instructions]
+
+
+class TestALUFolding:
+    def test_folds_constant_addition(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 3
+    li b, 4
+    add c, a, b
+    ret c
+""")
+        folded = fold_constants(function)
+        assert folded.instructions[2].opcode is Opcode.LI
+        assert folded.instructions[2].imm == 7
+
+    def test_folds_bitwise_chain(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 240
+    li b, 15
+    and c, a, b
+    or d, a, b
+    xor e, a, b
+    out c
+    out d
+    out e
+    ret e
+""")
+        folded = fold_to_fixpoint(function)
+        imms = {i.rd: i.imm for i in folded.instructions
+                if i.opcode is Opcode.LI}
+        assert imms["c"] == 0
+        assert imms["d"] == 255
+        assert imms["e"] == 255
+
+    def test_does_not_fold_unknown_input(self):
+        function = parse_function("""
+func f width=8 params=a
+bb.entry:
+    li b, 1
+    add c, a, b
+    ret c
+""")
+        folded = fold_constants(function)
+        assert folded.instructions[1].opcode is Opcode.ADD
+
+    def test_partially_known_bits_do_not_fold(self):
+        # a is unknown but anding with 0 is fully known.
+        function = parse_function("""
+func f width=8 params=a
+bb.entry:
+    andi b, a, 0
+    ret b
+""")
+        folded = fold_constants(function)
+        assert folded.instructions[0].opcode is Opcode.LI
+        assert folded.instructions[0].imm == 0
+
+    def test_loads_never_fold(self):
+        function = parse_function("""
+func f width=32 params=p
+bb.entry:
+    lw v, 0(p)
+    ret v
+""")
+        assert fold_constants(function) is function
+
+
+class TestBranchFolding:
+    def test_taken_branch_becomes_jump(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 0
+    beqz a, bb.yes
+bb.no:
+    li r, 1
+    ret r
+bb.yes:
+    li r, 2
+    ret r
+""")
+        folded = fold_to_fixpoint(function)
+        assert Opcode.J in opcodes(folded)
+        # bb.no became unreachable and is gone.
+        assert all(block.label != "bb.no" for block in folded.blocks)
+        assert Machine(folded).run().returned == 2
+
+    def test_not_taken_branch_disappears(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    li a, 5
+    beqz a, bb.yes
+bb.no:
+    li r, 1
+    ret r
+bb.yes:
+    li r, 2
+    ret r
+""")
+        folded = fold_to_fixpoint(function)
+        assert not any(i.is_conditional_branch for i in folded.instructions)
+        assert all(block.label != "bb.yes" for block in folded.blocks)
+        assert Machine(folded).run().returned == 1
+
+    def test_undecided_branch_is_kept(self):
+        function = parse_function("""
+func f width=8 params=a
+bb.entry:
+    beqz a, bb.yes
+bb.no:
+    li r, 1
+    ret r
+bb.yes:
+    li r, 2
+    ret r
+""")
+        assert fold_constants(function) is function
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize("value", [0, 1, 7, 255])
+    def test_loop_result_unchanged(self, value):
+        source = """
+func f width=8 params=n
+bb.entry:
+    li acc, 0
+    li mask, 3
+bb.loop:
+    and low, n, mask
+    add acc, acc, low
+    srli n, n, 2
+    bnez n, bb.loop
+bb.exit:
+    ret acc
+"""
+        original = parse_function(source)
+        folded = fold_to_fixpoint(parse_function(source))
+        machine_a = Machine(original)
+        machine_b = Machine(folded)
+        assert machine_a.run(regs={"n": value}).returned == \
+            machine_b.run(regs={"n": value}).returned

@@ -1,0 +1,137 @@
+"""Tests for the local peephole simplifications."""
+
+import pytest
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_function
+from repro.opt.peephole import run_peephole
+
+
+def _parse(body, params="params=x", width=8):
+    return parse_function(
+        f"func f width={width} {params}\nbb.entry:\n{body}\n")
+
+
+def _only_alu_opcode(function):
+    """Opcode of the single non-return instruction."""
+    body = [i for i in function.instructions if i.opcode is not Opcode.RET]
+    assert len(body) == 1
+    return body[0]
+
+
+@pytest.mark.parametrize("body,expected_opcode", [
+    ("    addi y, x, 0\n    ret y", Opcode.MV),
+    ("    ori y, x, 0\n    ret y", Opcode.MV),
+    ("    xori y, x, 0\n    ret y", Opcode.MV),
+    ("    andi y, x, 255\n    ret y", Opcode.MV),
+    ("    slli y, x, 0\n    ret y", Opcode.MV),
+    ("    srli y, x, 0\n    ret y", Opcode.MV),
+    ("    srai y, x, 0\n    ret y", Opcode.MV),
+    ("    add y, x, zero\n    ret y", Opcode.MV),
+    ("    add y, zero, x\n    ret y", Opcode.MV),
+    ("    or y, x, zero\n    ret y", Opcode.MV),
+    ("    xor y, zero, x\n    ret y", Opcode.MV),
+    ("    sub y, x, zero\n    ret y", Opcode.MV),
+    ("    and y, x, x\n    ret y", Opcode.MV),
+    ("    or y, x, x\n    ret y", Opcode.MV),
+    ("    sll y, x, zero\n    ret y", Opcode.MV),
+])
+def test_identity_becomes_mv(body, expected_opcode):
+    reduced = run_peephole(_parse(body))
+    assert _only_alu_opcode(reduced).opcode is expected_opcode
+
+
+@pytest.mark.parametrize("body,expected_imm", [
+    ("    andi y, x, 0\n    ret y", 0),
+    ("    sub y, x, x\n    ret y", 0),
+    ("    xor y, x, x\n    ret y", 0),
+    ("    and y, x, zero\n    ret y", 0),
+    ("    mul y, x, zero\n    ret y", 0),
+    ("    ori y, x, 255\n    ret y", 255),
+    ("    addi y, zero, 42\n    ret y", 42),
+])
+def test_constant_result_becomes_li(body, expected_imm):
+    reduced = run_peephole(_parse(body))
+    instruction = _only_alu_opcode(reduced)
+    assert instruction.opcode is Opcode.LI
+    assert instruction.imm == expected_imm
+
+
+def test_self_mv_removed():
+    function = _parse("    mv x, x\n    ret x")
+    reduced = run_peephole(function)
+    assert all(i.opcode is not Opcode.MV for i in reduced.instructions)
+
+
+def test_nop_removed():
+    function = _parse("    nop\n    ret x")
+    reduced = run_peephole(function)
+    assert len(reduced.instructions) == 1
+
+
+class TestBranches:
+    def test_beq_self_becomes_jump(self):
+        function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    beq x, x, bb.target
+bb.fall:
+    li r, 1
+    ret r
+bb.target:
+    li r, 2
+    ret r
+""")
+        reduced = run_peephole(function)
+        assert any(i.opcode is Opcode.J for i in reduced.instructions)
+        assert Machine(reduced).run(regs={"x": 3}).returned == 2
+
+    def test_bne_self_removed(self):
+        function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    bne x, x, bb.target
+bb.fall:
+    li r, 1
+    ret r
+bb.target:
+    li r, 2
+    ret r
+""")
+        reduced = run_peephole(function)
+        assert Machine(reduced).run(regs={"x": 3}).returned == 1
+
+    def test_beqz_zero_always_taken(self):
+        function = parse_function("""
+func f width=8
+bb.entry:
+    beqz zero, bb.target
+bb.fall:
+    li r, 1
+    ret r
+bb.target:
+    li r, 2
+    ret r
+""")
+        reduced = run_peephole(function)
+        assert Machine(reduced).run().returned == 2
+
+
+@pytest.mark.parametrize("value", [0, 1, 77, 255])
+def test_peepholes_preserve_semantics(value):
+    source = """
+func f width=8 params=x
+bb.entry:
+    addi a, x, 0
+    ori b, a, 0
+    and c, b, b
+    sub d, c, zero
+    xor e, d, d
+    add r, d, e
+    ret r
+"""
+    original = parse_function(source)
+    reduced = run_peephole(parse_function(source))
+    assert Machine(original).run(regs={"x": value}).returned == \
+        Machine(reduced).run(regs={"x": value}).returned

@@ -1,0 +1,111 @@
+"""Tests for CFG cleanup: jump threading, redundant jumps, unreachable
+block removal."""
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_function
+from repro.opt.simplify_cfg import simplify_cfg
+
+
+def test_jump_threading_through_trampoline():
+    function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    beqz x, bb.hop
+bb.fall:
+    li r, 1
+    ret r
+bb.hop:
+    j bb.final
+bb.final:
+    li r, 2
+    ret r
+""")
+    simplified = simplify_cfg(function)
+    branch = simplified.instructions[0]
+    assert branch.opcode is Opcode.BEQZ
+    assert branch.label == "bb.final"
+    assert all(block.label != "bb.hop" for block in simplified.blocks)
+    assert Machine(simplified).run(regs={"x": 0}).returned == 2
+    assert Machine(simplified).run(regs={"x": 9}).returned == 1
+
+
+def test_jump_chain_threaded_transitively():
+    function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    beqz x, bb.a
+bb.fall:
+    li r, 1
+    ret r
+bb.a:
+    j bb.b
+bb.b:
+    j bb.c
+bb.c:
+    li r, 3
+    ret r
+""")
+    simplified = simplify_cfg(function)
+    assert simplified.instructions[0].label == "bb.c"
+    assert len(simplified.blocks) == 3
+
+
+def test_redundant_jump_to_next_block_removed():
+    function = parse_function("""
+func f width=8
+bb.entry:
+    li r, 7
+    j bb.next
+bb.next:
+    ret r
+""")
+    simplified = simplify_cfg(function)
+    assert all(i.opcode is not Opcode.J for i in simplified.instructions)
+    assert Machine(simplified).run().returned == 7
+
+
+def test_jump_cycle_does_not_hang():
+    # Two jump-only blocks forwarding to each other, unreachable from
+    # the entry; threading must terminate and removal must drop them.
+    function = parse_function("""
+func f width=8
+bb.entry:
+    li r, 1
+    ret r
+bb.a:
+    j bb.b
+bb.b:
+    j bb.a
+""")
+    simplified = simplify_cfg(function)
+    assert len(simplified.blocks) == 1
+
+
+def test_kept_jump_when_target_not_next():
+    function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    beqz x, bb.other
+bb.then:
+    li r, 1
+    j bb.join
+bb.other:
+    li r, 2
+bb.join:
+    ret r
+""")
+    simplified = simplify_cfg(function)
+    assert any(i.opcode is Opcode.J for i in simplified.instructions)
+    assert Machine(simplified).run(regs={"x": 0}).returned == 2
+    assert Machine(simplified).run(regs={"x": 5}).returned == 1
+
+
+def test_noop_on_clean_function():
+    function = parse_function("""
+func f width=8 params=x
+bb.entry:
+    addi r, x, 1
+    ret r
+""")
+    assert simplify_cfg(function) is function

@@ -1,0 +1,139 @@
+"""Tests for strength reduction of mul/div/rem to bit operations."""
+
+import pytest
+
+from repro.fi.machine import Machine
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_function
+from repro.opt.strength import reduce_strength
+
+
+def _first_op(function, *opcodes):
+    for instruction in function.instructions:
+        if instruction.opcode in opcodes:
+            return instruction
+    return None
+
+
+def _parse(body, params="params=x", width=32):
+    return parse_function(
+        f"func f width={width} {params}\nbb.entry:\n{body}\n")
+
+
+class TestMul:
+    def test_power_of_two_becomes_shift(self):
+        function = _parse("    li k, 8\n    mul y, x, k\n    ret y")
+        reduced = reduce_strength(function)
+        shift = _first_op(reduced, Opcode.SLLI)
+        assert shift is not None and shift.imm == 3
+        assert _first_op(reduced, Opcode.MUL) is None
+
+    def test_commuted_constant(self):
+        function = _parse("    li k, 4\n    mul y, k, x\n    ret y")
+        reduced = reduce_strength(function)
+        shift = _first_op(reduced, Opcode.SLLI)
+        assert shift is not None and shift.imm == 2 and shift.rs1 == "x"
+
+    def test_by_zero_becomes_li(self):
+        function = _parse("    li k, 0\n    mul y, x, k\n    ret y")
+        reduced = reduce_strength(function)
+        load = _first_op(reduced, Opcode.LI)
+        assert any(i.opcode is Opcode.LI and i.rd == "y" and i.imm == 0
+                   for i in reduced.instructions)
+        assert load is not None
+
+    def test_by_one_becomes_mv(self):
+        function = _parse("    li k, 1\n    mul y, x, k\n    ret y")
+        reduced = reduce_strength(function)
+        assert _first_op(reduced, Opcode.MV) is not None
+
+    def test_non_power_untouched(self):
+        function = _parse("    li k, 6\n    mul y, x, k\n    ret y")
+        assert reduce_strength(function) is function
+
+    def test_unknown_multiplier_untouched(self):
+        function = _parse("    mul y, x, z\n    ret y",
+                          params="params=x,z")
+        assert reduce_strength(function) is function
+
+
+class TestDivRem:
+    def test_divu_power_of_two(self):
+        function = _parse("    li k, 16\n    divu y, x, k\n    ret y")
+        reduced = reduce_strength(function)
+        shift = _first_op(reduced, Opcode.SRLI)
+        assert shift is not None and shift.imm == 4
+
+    def test_remu_power_of_two(self):
+        function = _parse("    li k, 8\n    remu y, x, k\n    ret y")
+        reduced = reduce_strength(function)
+        mask = _first_op(reduced, Opcode.ANDI)
+        assert mask is not None and mask.imm == 7
+
+    def test_signed_div_requires_known_sign(self):
+        # x is a raw parameter: the sign bit is unknown, div must stay.
+        function = _parse("    li k, 4\n    div y, x, k\n    ret y")
+        assert reduce_strength(function) is function
+
+    def test_signed_div_with_known_nonneg_dividend(self):
+        body = ("    andi low, x, 15\n"
+                "    li k, 4\n"
+                "    div y, low, k\n"
+                "    ret y")
+        reduced = reduce_strength(_parse(body))
+        assert _first_op(reduced, Opcode.SRLI) is not None
+        assert _first_op(reduced, Opcode.DIV) is None
+
+    def test_signed_rem_with_known_nonneg_dividend(self):
+        body = ("    andi low, x, 255\n"
+                "    li k, 8\n"
+                "    rem y, low, k\n"
+                "    ret y")
+        reduced = reduce_strength(_parse(body))
+        mask = _first_op(reduced, Opcode.ANDI, Opcode.ANDI)
+        assert any(i.opcode is Opcode.ANDI and i.imm == 7
+                   for i in reduced.instructions)
+
+    def test_division_by_zero_untouched(self):
+        function = _parse("    li k, 0\n    divu y, x, k\n    ret y")
+        assert reduce_strength(function) is function
+
+    def test_cross_block_constant_divisor(self):
+        # The divisor constant is established in another basic block:
+        # a peephole would miss it, the bit-value analysis does not.
+        function = parse_function("""
+func f width=32 params=x
+bb.entry:
+    li k, 32
+    beqz x, bb.skip
+bb.body:
+    divu y, x, k
+    ret y
+bb.skip:
+    li y, 0
+    ret y
+""")
+        reduced = reduce_strength(function)
+        shift = _first_op(reduced, Opcode.SRLI)
+        assert shift is not None and shift.imm == 5
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("value", [0, 1, 5, 100, 2**31, 2**32 - 1])
+    def test_results_match_original(self, value):
+        source = """
+func f width=32 params=x
+bb.entry:
+    li k8, 8
+    li k4, 4
+    mul a, x, k8
+    divu b, x, k4
+    remu c, x, k8
+    add r, a, b
+    add r, r, c
+    ret r
+"""
+        original = parse_function(source)
+        reduced = reduce_strength(parse_function(source))
+        assert Machine(original).run(regs={"x": value}).returned == \
+            Machine(reduced).run(regs={"x": value}).returned

@@ -1,0 +1,89 @@
+"""Tests for the data-dependency graph."""
+
+from repro.ir.parser import parse_function
+from repro.sched.ddg import DependencyGraph
+
+
+def graph_for(source, label):
+    function = parse_function(source)
+    return DependencyGraph(function.block(label)), function
+
+
+SOURCE = """
+func f width=4
+bb.entry:
+    li a, 1
+    li b, 2
+    add c, a, b
+    mv a, c
+    sw c, 0(zero)
+    lw d, 4(zero)
+    out d
+    sw d, 8(zero)
+    ret c
+"""
+
+
+class TestEdges:
+    def test_raw_dependency(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        assert 2 in graph.successors[0]       # li a -> add
+        assert 2 in graph.successors[1]       # li b -> add
+
+    def test_war_dependency(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        # mv a, c redefines a, which add reads.
+        assert 3 in graph.successors[2]
+
+    def test_waw_dependency(self):
+        source = """
+func f width=4
+bb.entry:
+    li a, 1
+    li a, 2
+    ret a
+"""
+        graph, _ = graph_for(source, "bb.entry")
+        assert 1 in graph.successors[0]
+
+    def test_store_load_ordering(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        assert 5 in graph.successors[4]       # sw -> lw
+        assert 7 in graph.successors[5]       # lw -> sw
+
+    def test_observable_order_preserved(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        # sw (4) -> out (6) -> sw (8? index 7)
+        assert 6 in graph.successors[4]
+        assert 7 in graph.successors[6]
+
+    def test_terminator_last(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        last = len(graph) - 1
+        for index in range(last):
+            assert last in graph.successors[index]
+
+    def test_ready_initial(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        assert set(graph.ready(set())) == {0, 1}
+
+    def test_ready_progress(self):
+        graph, _ = graph_for(SOURCE, "bb.entry")
+        ready = set(graph.ready({0, 1}))
+        assert 2 in ready
+
+
+class TestIndependentInstructions:
+    def test_no_false_dependencies(self):
+        source = """
+func f width=4
+bb.entry:
+    li a, 1
+    li b, 2
+    li c, 3
+    ret a
+"""
+        graph, _ = graph_for(source, "bb.entry")
+        assert graph.successors[0] == {3}
+        assert graph.successors[1] == {3}
+        assert graph.successors[2] == {3}

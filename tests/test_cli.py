@@ -1,0 +1,238 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MINIC = """
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 4; i++) total += i;
+    out(total);
+    return total;
+}
+"""
+
+IR = """
+func f width=4
+bb.entry:
+    li a, 7
+    andi b, a, 1
+    out b
+    ret b
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(MINIC)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(IR)
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, minic_file, capsys):
+        assert main(["compile", minic_file]) == 0
+        output = capsys.readouterr().out
+        assert "func main" in output
+
+    def test_compile_to_file(self, minic_file, tmp_path, capsys):
+        out = str(tmp_path / "out.ir")
+        assert main(["compile", minic_file, "-o", out]) == 0
+        assert "func main" in open(out).read()
+
+    def test_compiled_output_is_loadable(self, minic_file, tmp_path,
+                                         capsys):
+        out = str(tmp_path / "out.ir")
+        main(["compile", minic_file, "-o", out])
+        capsys.readouterr()
+        assert main(["run", out]) == 0
+        assert "returned: 10" in capsys.readouterr().out
+
+    def test_no_opt_differs(self, minic_file, capsys):
+        main(["compile", minic_file])
+        optimized = capsys.readouterr().out
+        main(["compile", minic_file, "--no-opt"])
+        raw = capsys.readouterr().out
+        assert len(raw.splitlines()) >= len(optimized.splitlines())
+
+
+class TestRun:
+    def test_run_minic(self, minic_file, capsys):
+        assert main(["run", minic_file]) == 0
+        output = capsys.readouterr().out
+        assert "out: 10" in output
+        assert "returned: 10" in output
+
+    def test_run_ir(self, ir_file, capsys):
+        assert main(["run", ir_file]) == 0
+        assert "out: 1" in capsys.readouterr().out
+
+    def test_run_with_args(self, tmp_path, capsys):
+        path = tmp_path / "args.mc"
+        path.write_text("int main(int a, int b) { return a * b; }")
+        assert main(["run", str(path), "--args", "6", "0x7"]) == 0
+        assert "returned: 42" in capsys.readouterr().out
+
+    def test_wrong_arg_count(self, minic_file):
+        with pytest.raises(SystemExit):
+            main(["run", minic_file, "--args", "1"])
+
+
+class TestAnalyze:
+    def test_summary(self, ir_file, capsys):
+        assert main(["analyze", ir_file]) == 0
+        output = capsys.readouterr().out
+        assert "masked_live_sites" in output
+
+    def test_windows_listing(self, ir_file, capsys):
+        assert main(["analyze", ir_file, "--windows"]) == 0
+        output = capsys.readouterr().out
+        assert "andi b, a, 1" in output
+
+    def test_extended_flag(self, ir_file, capsys):
+        assert main(["analyze", ir_file, "--extended"]) == 0
+
+
+class TestCampaign:
+    def test_plan_only(self, ir_file, capsys):
+        assert main(["campaign", ir_file]) == 0
+        output = capsys.readouterr().out
+        assert "fault-injection runs" in output
+
+    @pytest.mark.parametrize("mode", ["bec", "ior", "exhaustive"])
+    def test_modes_execute(self, ir_file, capsys, mode):
+        assert main(["campaign", ir_file, "--mode", mode,
+                     "--execute", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "executed 5 runs" in output
+
+
+class TestValidate:
+    def test_clean_program(self, ir_file, capsys):
+        assert main(["validate", ir_file]) == 0
+        assert "no unsound classification" in capsys.readouterr().out
+
+    def test_minic_program(self, minic_file, capsys):
+        assert main(["validate", minic_file, "--cycles", "10"]) == 0
+
+
+class TestSchedule:
+    def test_best_policy(self, minic_file, capsys):
+        assert main(["schedule", minic_file]) == 0
+        output = capsys.readouterr().out
+        assert "fault surface" in output
+        assert "func main" in output
+
+    def test_output_file(self, minic_file, tmp_path, capsys):
+        out = str(tmp_path / "sched.ir")
+        assert main(["schedule", minic_file, "--policy", "worst",
+                     "-o", out]) == 0
+        assert "func main" in open(out).read()
+
+
+MEMORY_MINIC = """
+int table[4] = {10, 20, 30, 40};
+int main(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1)
+        sum = sum + (table[i] & 7);
+    return sum;
+}
+"""
+
+
+@pytest.fixture
+def memory_minic_file(tmp_path):
+    path = tmp_path / "table.mc"
+    path.write_text(MEMORY_MINIC)
+    return str(path)
+
+
+class TestSample:
+    def test_uniform(self, ir_file, capsys):
+        assert main(["sample", ir_file, "--budget", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "uniform sampling" in output
+        assert "AVF estimate" in output
+
+    def test_bec_collapsed(self, ir_file, capsys):
+        assert main(["sample", ir_file, "--budget", "50", "--bec"]) == 0
+        output = capsys.readouterr().out
+        assert "BEC-collapsed" in output
+
+    def test_deterministic_seed(self, ir_file, capsys):
+        main(["sample", ir_file, "--budget", "40", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["sample", ir_file, "--budget", "40", "--seed", "3"])
+        assert capsys.readouterr().out == first
+
+
+class TestMemory:
+    def test_accounting(self, memory_minic_file, capsys):
+        assert main(["memory", memory_minic_file, "--args", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "memory accounting" in output
+        assert "'masked_bits'" in output
+
+    def test_execute(self, memory_minic_file, capsys):
+        assert main(["memory", memory_minic_file, "--execute",
+                     "--args", "4"]) == 0
+        assert "pruned campaign" in capsys.readouterr().out
+
+    def test_no_loads(self, ir_file, capsys):
+        assert main(["memory", ir_file]) == 0
+        assert "no loads" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_sound_on_default_seeds(self, capsys):
+        assert main(["fuzz", "--count", "2", "--cycles", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "all 2 seeds sound" in output
+
+
+class TestCompileLevels:
+    def test_level2_folds_constants(self, tmp_path, capsys):
+        path = tmp_path / "const.mc"
+        path.write_text("int main() { return 3 * 4; }\n")
+        assert main(["compile", str(path), "-O", "2"]) == 0
+        level2 = capsys.readouterr().out
+        assert main(["compile", str(path), "-O", "0"]) == 0
+        level0 = capsys.readouterr().out
+        assert len(level2.splitlines()) <= len(level0.splitlines())
+
+
+class TestSchedulePolicies:
+    @pytest.mark.parametrize("policy", ["live-interval", "lookahead"])
+    def test_related_policies_available(self, ir_file, policy, capsys):
+        assert main(["schedule", ir_file, "--policy", policy]) == 0
+        assert "fault surface" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_cfg_export(self, ir_file, capsys):
+        assert main(["dot", ir_file]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+        assert "bb.entry" in output
+
+    def test_cfg_with_bec_annotations(self, ir_file, capsys):
+        assert main(["dot", ir_file, "--bec"]) == 0
+        assert "b]" in capsys.readouterr().out
+
+    def test_ddg_export(self, ir_file, capsys):
+        assert main(["dot", ir_file, "--ddg", "bb.entry"]) == 0
+        assert "ddg_bb.entry" in capsys.readouterr().out
+
+    def test_output_file(self, ir_file, tmp_path, capsys):
+        target = tmp_path / "cfg.dot"
+        assert main(["dot", ir_file, "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
