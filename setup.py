@@ -1,6 +1,26 @@
-"""Shim so that ``pip install -e .`` works without network access
-(the environment's pip cannot fetch PEP 517 build dependencies)."""
+"""Setuptools configuration for the ``src/`` layout.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e . --no-build-isolation`` works without network access —
+the environment's pip cannot fetch PEP 517 build dependencies.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-bec",
+    version="0.1.0",
+    description=("Reproduction of 'BEC: Bit-Level Static Analysis for "
+                 "Reliability against Soft Errors' (Ko & Burgstaller, "
+                 "CGO 2024): bit-level liveness/equivalence analysis, "
+                 "an ISA-level fault-injection simulator and a "
+                 "checkpointed, parallel campaign engine"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -124,6 +124,10 @@ def cmd_analyze(options):
 
 
 def cmd_campaign(options):
+    if options.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if options.checkpoint_interval < 0:
+        raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
     program = load_program(options.file)
     machine, golden = _golden(program, options.args)
     bec = run_bec(program.function)
@@ -139,10 +143,21 @@ def cmd_campaign(options):
     print(f"accounting: {accounting}")
     if options.execute:
         slice_ = plan[:options.execute]
+        progress = None
+        if options.progress:
+            def progress(done, total):
+                print(f"\r  {done}/{total} runs", end="",
+                      file=sys.stderr, flush=True)
         result = run_campaign(machine, slice_,
                               regs=_initial_regs(program, options.args),
-                              golden=golden)
-        print(f"executed {len(slice_)} runs in "
+                              golden=golden, workers=options.workers,
+                              checkpoint_interval=options.checkpoint_interval,
+                              progress=progress)
+        if options.progress:
+            print(file=sys.stderr)
+        mode = (f"workers={options.workers}, "
+                f"checkpoint-interval={options.checkpoint_interval or 'off'}")
+        print(f"executed {len(slice_)} runs ({mode}) in "
               f"{result.wall_time:.2f}s: {result.effect_counts()}")
         print(f"distinguishable traces: {result.distinct_traces} "
               f"({result.archived_bytes} bytes archived)")
@@ -182,6 +197,8 @@ POLICIES = {
 
 
 def cmd_sample(options):
+    if options.checkpoint_interval < 0:
+        raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
     program = load_program(options.file)
     machine, golden = _golden(program, options.args)
     bec = run_bec(program.function) if options.bec else None
@@ -189,7 +206,8 @@ def cmd_sample(options):
                             options.budget, seed=options.seed,
                             regs=_initial_regs(program, options.args),
                             golden=golden, bec=bec,
-                            confidence=options.confidence)
+                            confidence=options.confidence,
+                            checkpoint_interval=options.checkpoint_interval)
     mode = "BEC-collapsed" if options.bec else "uniform"
     print(f"{mode} sampling: {estimate.trials} samples over "
           f"{estimate.population} fault sites")
@@ -335,6 +353,16 @@ def build_parser():
                      default="bec")
     sub.add_argument("--execute", type=int, default=0,
                      help="execute the first N planned runs")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes for campaign execution "
+                          "(results stay bit-identical to serial)")
+    sub.add_argument("--checkpoint-interval", type=int, default=0,
+                     metavar="CYCLES",
+                     help="resume injected runs from golden-run "
+                          "snapshots taken every CYCLES instructions "
+                          "(0 = off)")
+    sub.add_argument("--progress", action="store_true",
+                     help="print a progress line to stderr")
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
@@ -361,6 +389,10 @@ def build_parser():
     sub.add_argument("--confidence", type=float, default=0.95)
     sub.add_argument("--bec", action="store_true",
                      help="collapse simulator runs per BEC class")
+    sub.add_argument("--checkpoint-interval", type=int, default=0,
+                     metavar="CYCLES",
+                     help="resume sampled runs from golden-run "
+                          "snapshots (0 = off)")
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 

@@ -3,12 +3,29 @@
 One :class:`BenchmarkRun` per benchmark bundles the compiled program,
 its golden trace and the BEC analysis; results are cached per process
 because several experiments share them.
+
+Campaign-executing experiments go through :meth:`BenchmarkRun.run_plan`
+so the engine knobs apply uniformly; ``REPRO_WORKERS`` and
+``REPRO_CHECKPOINT_INTERVAL`` set process-wide defaults (e.g. to speed
+up ``python -m repro.experiments`` on a multi-core box) without
+changing any experiment's results — the engine guarantees bit-identical
+aggregates.
 """
+
+import os
 
 from repro.bench.programs import (BENCHMARK_ORDER, compile_benchmark,
                                   get_benchmark)
 from repro.bec.analysis import run_bec
+from repro.fi.engine import CampaignEngine
 from repro.fi.machine import Machine
+
+
+def _env_int(name, default):
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
 
 
 class BenchmarkRun:
@@ -25,6 +42,25 @@ class BenchmarkRun:
             raise RuntimeError(
                 f"{name}: golden run failed ({self.golden.outcome})")
         self.bec = run_bec(self.function)
+
+    def run_plan(self, plan, golden=None, workers=None,
+                 checkpoint_interval=None, max_cycles=None):
+        """Execute *plan* through the campaign engine.
+
+        ``workers``/``checkpoint_interval`` default to the
+        ``REPRO_WORKERS`` / ``REPRO_CHECKPOINT_INTERVAL`` environment
+        variables (serial, uncheckpointed when unset).
+        """
+        if workers is None:
+            workers = _env_int("REPRO_WORKERS", 1)
+        if checkpoint_interval is None:
+            checkpoint_interval = _env_int("REPRO_CHECKPOINT_INTERVAL", 0)
+        engine = CampaignEngine(self.machine, plan, regs=self.regs,
+                                golden=self.golden if golden is None
+                                else golden,
+                                max_cycles=max_cycles)
+        return engine.run(workers=workers,
+                          checkpoint_interval=checkpoint_interval or None)
 
 
 _cache = {}

@@ -18,7 +18,7 @@ analysis itself (last column) stays in the noise.
 import time
 
 from repro.bec.analysis import run_bec
-from repro.fi.campaign import plan_exhaustive, run_campaign
+from repro.fi.campaign import plan_exhaustive
 from repro.fi.trace import Trace
 from repro.experiments.common import benchmark_run
 from repro.experiments.reporting import format_bytes, render_table
@@ -52,7 +52,7 @@ def run_benchmark(name, cycle_limit=10, register_stride=3):
     run_bec(run.function)
     analysis_time = time.perf_counter() - analysis_start
 
-    result = run_campaign(run.machine, plan, regs=run.regs, golden=golden)
+    result = run.run_plan(plan)
     covered = min(cycle_limit, golden.cycles)
     cycle_scale = golden.cycles / covered
     register_scale = len(run.function.registers()) / len(registers)

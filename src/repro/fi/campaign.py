@@ -14,7 +14,6 @@ Three campaign granularities, matching the paper's comparison:
 each run against the golden trace.
 """
 
-import time
 from collections import namedtuple
 
 from repro.ir.liveness import compute_liveness
@@ -116,26 +115,23 @@ def classify_effect(golden, injected):
     return EFFECT_SDC
 
 
-def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None):
+def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
+                 workers=1, checkpoint_interval=None, progress=None):
     """Execute every planned run; returns a :class:`CampaignResult`.
 
     ``machine`` must wrap the same function the plan was made for; the
-    golden trace is recomputed unless supplied.
+    golden trace is recomputed unless supplied.  Thin wrapper over
+    :class:`repro.fi.engine.CampaignEngine` — ``workers`` and
+    ``checkpoint_interval`` opt into parallel and checkpointed
+    execution with bit-identical aggregates.
     """
-    start = time.perf_counter()
-    if golden is None:
-        golden = machine.run(regs=regs)
-    if max_cycles is None:
-        max_cycles = max(4 * golden.cycles + 256, 1024)
-    result = CampaignResult(golden)
-    for planned in plan:
-        injected = machine.run(regs=regs, injection=planned.injection,
-                               max_cycles=max_cycles)
-        effect = classify_effect(golden, injected)
-        result.record(planned, effect, injected.signature(),
-                      injected.byte_size())
-    result.wall_time = time.perf_counter() - start
-    return result
+    from repro.fi.engine import CampaignEngine
+
+    engine = CampaignEngine(machine, plan, regs=regs, golden=golden,
+                            max_cycles=max_cycles)
+    return engine.run(workers=workers,
+                      checkpoint_interval=checkpoint_interval,
+                      progress=progress)
 
 
 def golden_run(function, regs=None, memory_image=None, memory_size=1 << 16,

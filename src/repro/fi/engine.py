@@ -1,0 +1,185 @@
+"""Checkpointed, parallel fault-injection campaign engine.
+
+:func:`repro.fi.campaign.run_campaign` executes every planned injection
+serially and from cycle 0 — O(runs × trace-length) simulator work even
+though every injected run shares the golden prefix up to its injection
+cycle.  This module is the production engine behind it:
+
+* **Checkpointing** (``checkpoint_interval=N``): the golden run is
+  re-executed once with :meth:`Machine.run_with_snapshots`; each
+  injected run then restores the deepest snapshot at or before its
+  injection cycle and executes only the tail, cutting the campaign to
+  O(runs × avg-tail).  This is the standard acceleration campaign tools
+  built around SPIKE-style ISA simulators use to make exhaustive
+  register-file sweeps (the paper's Table I baseline) tractable.
+* **Parallelism** (``workers=N``): the plan is partitioned into
+  contiguous chunks executed by ``fork``-ed worker processes.  Chunks
+  are merged back in plan order, so the resulting
+  :class:`CampaignResult` — run order, ``effect_counts()``,
+  ``vulnerable_runs()``, ``distinct_traces`` — is bit-identical to the
+  serial baseline.  Platforms without the ``fork`` start method fall
+  back to serial execution (same results, no speedup).
+
+Both knobs compose: snapshots are captured in the parent before the
+pool forks, so workers inherit them for free.
+"""
+
+import multiprocessing
+import time
+
+from repro.fi.campaign import CampaignResult, classify_effect
+
+#: Chunks per worker — small enough to amortize task dispatch, large
+#: enough that a slow chunk doesn't serialize the tail of the campaign.
+_CHUNKS_PER_WORKER = 4
+
+
+def pick_snapshot(snapshots, cycle):
+    """Deepest snapshot usable for an injection at *cycle*.
+
+    *snapshots* must be sorted by cycle (as produced by
+    :meth:`Machine.run_with_snapshots`).  Returns ``None`` when no
+    snapshot precedes the injection (then the caller must run from
+    cycle 0).  A pre-execution upset (``cycle=-1``) can only reuse the
+    cycle-0 snapshot.
+    """
+    if not snapshots:
+        return None
+    if cycle == -1:
+        return snapshots[0] if snapshots[0].cycle == 0 else None
+    # Hand-rolled bisect: bisect_right(key=...) needs Python >= 3.10
+    # and setup.py promises 3.9.
+    low, high = 0, len(snapshots)
+    while low < high:
+        mid = (low + high) // 2
+        if snapshots[mid].cycle <= cycle:
+            low = mid + 1
+        else:
+            high = mid
+    return snapshots[low - 1] if low else None
+
+
+def run_injection(machine, injection, regs, snapshots, max_cycles):
+    """Execute one injected run, resuming from the deepest usable
+    snapshot when there is one (the single resume protocol shared by
+    campaign workers and the sampling estimator)."""
+    snapshot = pick_snapshot(snapshots, injection.cycle)
+    if snapshot is not None:
+        return machine.run_from(snapshot, injection=injection,
+                                max_cycles=max_cycles,
+                                converge=snapshots)
+    return machine.run(regs=regs, injection=injection,
+                       max_cycles=max_cycles)
+
+
+class _WorkerContext:
+    """Everything a forked worker needs, inherited by reference."""
+
+    def __init__(self, machine, plan, regs, golden, snapshots, max_cycles):
+        self.machine = machine
+        self.plan = plan
+        self.regs = regs
+        self.golden = golden
+        self.snapshots = snapshots
+        self.max_cycles = max_cycles
+
+    def classify(self, planned):
+        injected = run_injection(self.machine, planned.injection,
+                                 self.regs, self.snapshots,
+                                 self.max_cycles)
+        return (classify_effect(self.golden, injected),
+                injected.signature(), injected.byte_size())
+
+
+_WORKER = None
+
+
+def _init_worker(context):
+    global _WORKER
+    _WORKER = context
+
+
+def _run_chunk(bounds):
+    start, end = bounds
+    context = _WORKER
+    return [context.classify(planned)
+            for planned in context.plan[start:end]]
+
+
+class CampaignEngine:
+    """Executes a fault-injection plan with checkpointing and workers.
+
+    ``CampaignEngine(machine, plan).run(workers=4,
+    checkpoint_interval=64)`` returns the same :class:`CampaignResult`
+    (modulo ``wall_time``) as the serial, uncheckpointed
+    :func:`repro.fi.campaign.run_campaign`.
+    """
+
+    def __init__(self, machine, plan, regs=None, golden=None,
+                 max_cycles=None):
+        self.machine = machine
+        self.plan = list(plan)
+        self.regs = regs
+        self.golden = golden if golden is not None \
+            else machine.run(regs=regs)
+        self.max_cycles = max_cycles if max_cycles is not None \
+            else max(4 * self.golden.cycles + 256, 1024)
+
+    def run(self, workers=1, checkpoint_interval=None, progress=None):
+        """Execute the whole plan; returns a :class:`CampaignResult`.
+
+        ``workers`` > 1 forks that many processes; ``checkpoint_interval``
+        enables snapshot/resume at that cycle granularity; ``progress``
+        is an optional ``callable(done, total)`` invoked as runs retire.
+        """
+        start = time.perf_counter()
+        snapshots = None
+        if checkpoint_interval:
+            _, snapshots = self.machine.run_with_snapshots(
+                regs=self.regs, interval=checkpoint_interval,
+                max_cycles=self.max_cycles)
+        context = _WorkerContext(self.machine, self.plan, self.regs,
+                                 self.golden, snapshots, self.max_cycles)
+        if workers and workers > 1 and len(self.plan) > 1 \
+                and "fork" in multiprocessing.get_all_start_methods():
+            records = self._run_parallel(context, workers, progress)
+        else:
+            records = self._run_serial(context, progress)
+        result = CampaignResult(self.golden)
+        for planned, (effect, signature, byte_size) in zip(self.plan,
+                                                           records):
+            result.record(planned, effect, signature, byte_size)
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    def _run_serial(self, context, progress):
+        records = []
+        total = len(self.plan)
+        for index, planned in enumerate(self.plan):
+            records.append(context.classify(planned))
+            if progress is not None and (index + 1) % 64 == 0:
+                progress(index + 1, total)
+        if progress is not None:
+            progress(total, total)
+        return records
+
+    def _run_parallel(self, context, workers, progress):
+        total = len(self.plan)
+        chunk = max(1, -(-total // (workers * _CHUNKS_PER_WORKER)))
+        bounds = [(low, min(low + chunk, total))
+                  for low in range(0, total, chunk)]
+        try:
+            pool = multiprocessing.get_context("fork").Pool(
+                processes=min(workers, len(bounds)),
+                initializer=_init_worker, initargs=(context,))
+        except OSError:
+            # Process creation refused (sandbox, rlimits): same
+            # results, just without the speedup.
+            return self._run_serial(context, progress)
+        records = []
+        with pool:
+            for part in pool.imap(_run_chunk, bounds):
+                records.extend(part)
+                if progress is not None:
+                    progress(len(records), total)
+        return records

@@ -71,6 +71,63 @@ class MemoryInjection:
                 f"address={self.address}, bit={self.bit})")
 
 
+class Snapshot:
+    """Point-in-time image of a machine mid-run (a checkpoint).
+
+    Snapshots are taken during *clean* (injection-free) runs at
+    configurable cycle intervals; :meth:`Machine.run_from` restores one
+    and executes only the tail, which is what makes exhaustive
+    campaigns O(runs × avg-tail) instead of O(runs × trace-length).
+
+    The trace prefix is not copied eagerly: a snapshot keeps a
+    reference to the (immutable once the golden run finishes) golden
+    trace plus the prefix lengths, and :meth:`Machine.run_from` slices
+    the prefix per resumed run.  ``memory`` is stored as immutable
+    :class:`bytes` so each restore is a single copy.
+    """
+
+    __slots__ = ("cycle", "pc", "registers", "memory", "trace",
+                 "n_executed", "n_outputs", "n_stores", "n_loads")
+
+    def __init__(self, cycle, pc, registers, memory, trace):
+        self.cycle = cycle
+        self.pc = pc
+        self.registers = registers
+        self.memory = memory
+        self.trace = trace
+        self.n_executed = len(trace.executed)
+        self.n_outputs = len(trace.outputs)
+        self.n_stores = len(trace.stores)
+        self.n_loads = len(trace.loads)
+
+    def byte_size(self):
+        """Approximate in-memory footprint (for accounting/benchmarks)."""
+        return len(self.memory) + 16 * len(self.registers) + 64
+
+    def __repr__(self):
+        return (f"<Snapshot cycle={self.cycle} pc={self.pc} "
+                f"regs={len(self.registers)}>")
+
+
+def _apply_upset(upset, registers, memory, memory_size, value_mask):
+    """Flip the bit named by *upset* in the register file or memory."""
+    if isinstance(upset, MemoryInjection):
+        target = upset.address + upset.bit // 8
+        if target < memory_size:
+            memory[target] ^= 1 << (upset.bit % 8)
+    else:
+        registers[upset.reg] = (registers.get(upset.reg, 0)
+                                ^ (1 << upset.bit)) & value_mask
+
+
+def _sorted_upsets(injection):
+    if injection is None:
+        return []
+    if isinstance(injection, (list, tuple)):
+        return sorted(injection, key=lambda upset: upset.cycle)
+    return [injection]
+
+
 class Machine:
     """Executable image of one function plus a memory."""
 
@@ -134,7 +191,8 @@ class Machine:
     # -- execution ---------------------------------------------------------------
 
     def run(self, regs=None, injection=None, max_cycles=DEFAULT_MAX_CYCLES,
-            record_executed=True, record_registers=False):
+            record_executed=True, record_registers=False,
+            snapshot_interval=None, snapshots=None):
         """Execute from the entry block; returns a :class:`Trace`.
 
         ``regs`` provides initial register values (parameters).
@@ -146,41 +204,129 @@ class Machine:
         snapshot per executed instruction (taken right after it
         completes, before any injection fires) — the oracle the
         bit-value soundness fuzzer compares against.
+
+        With ``snapshot_interval=N`` (clean runs only — snapshots of a
+        faulted run would poison every resumed tail) a :class:`Snapshot`
+        is appended to the ``snapshots`` list every N executed
+        instructions, starting at cycle 0.
         """
-        width = self.width
-        value_mask = mask(width)
+        value_mask = mask(self.width)
         registers = {}
         if regs:
             for reg, value in regs.items():
                 registers[reg] = value & value_mask
         memory = bytearray(self.memory_size)
         memory[:len(self.memory_image)] = self.memory_image
-        program = self._program
         trace = Trace()
+        upsets = _sorted_upsets(injection)
+        if upsets:
+            # Never snapshot a faulted run — a pre-execution (cycle=-1)
+            # upset would otherwise leave `upsets` empty by the time
+            # _execute checks, poisoning every resumed tail.
+            snapshot_interval = snapshots = None
+        while upsets and upsets[0].cycle == -1:
+            _apply_upset(upsets.pop(0), registers, memory,
+                         self.memory_size, value_mask)
+        return self._execute(registers, memory, trace, 0, 0, upsets,
+                             max_cycles, record_executed,
+                             record_registers,
+                             snapshot_interval=snapshot_interval,
+                             snapshots=snapshots)
+
+    def run_with_snapshots(self, regs=None, interval=64,
+                           max_cycles=DEFAULT_MAX_CYCLES):
+        """Clean (golden) run that also captures checkpoints.
+
+        Returns ``(trace, snapshots)`` where ``snapshots`` is sorted by
+        cycle and starts with the initial (cycle-0) state.
+        """
+        if interval <= 0:
+            raise SimulationError("snapshot interval must be positive")
+        snapshots = []
+        trace = self.run(regs=regs, max_cycles=max_cycles,
+                         snapshot_interval=interval, snapshots=snapshots)
+        return trace, snapshots
+
+    def run_from(self, snapshot, injection=None,
+                 max_cycles=DEFAULT_MAX_CYCLES, record_executed=True,
+                 converge=None):
+        """Resume from *snapshot* and execute only the tail.
+
+        Produces a trace bit-identical to a full :meth:`run` with the
+        same ``injection``, provided every upset fires at or after the
+        snapshot point (``upset.cycle >= snapshot.cycle``; ``cycle=-1``
+        pre-execution upsets require the cycle-0 snapshot).  ``cycle``
+        and ``max_cycles`` remain absolute, so timeout classification
+        matches the full run as well.
+
+        ``converge`` may pass the full snapshot list of the same golden
+        run: when the resumed run reaches a later snapshot's cycle with
+        exactly that snapshot's machine state (pc, registers, memory),
+        its remaining execution is provably identical to the golden
+        run's, so the golden suffix is spliced onto the trace instead
+        of being re-executed — masked runs then cost
+        O(fault-lifetime + interval) instead of O(tail).
+        """
+        upsets = _sorted_upsets(injection)
+        if upsets and upsets[0].cycle < snapshot.cycle \
+                and not (upsets[0].cycle == -1 and snapshot.cycle == 0):
+            raise SimulationError(
+                f"injection at cycle {upsets[0].cycle} precedes "
+                f"snapshot at cycle {snapshot.cycle}")
+        value_mask = mask(self.width)
+        registers = dict(snapshot.registers)
+        memory = bytearray(snapshot.memory)
+        while upsets and upsets[0].cycle == -1:
+            _apply_upset(upsets.pop(0), registers, memory,
+                         self.memory_size, value_mask)
+        source = snapshot.trace
+        trace = Trace()
+        trace.executed = source.executed[:snapshot.n_executed]
+        trace.outputs = source.outputs[:snapshot.n_outputs]
+        trace.stores = source.stores[:snapshot.n_stores]
+        trace.loads = source.loads[:snapshot.n_loads]
+        last_upset = max((upset.cycle for upset in upsets),
+                         default=snapshot.cycle)
+        converge = [candidate for candidate in converge or ()
+                    if candidate.cycle > max(last_upset, snapshot.cycle)]
+        return self._execute(registers, memory, trace, snapshot.pc,
+                             snapshot.cycle, upsets, max_cycles,
+                             record_executed, False, converge=converge)
+
+    @staticmethod
+    def _splice_golden_suffix(trace, snapshot, record_executed):
+        """State reconverged with the golden run at *snapshot*: the
+        remaining trace is the golden suffix, verbatim."""
+        source = snapshot.trace
+        if record_executed:
+            trace.executed.extend(source.executed[snapshot.n_executed:])
+        trace.outputs.extend(source.outputs[snapshot.n_outputs:])
+        trace.stores.extend(source.stores[snapshot.n_stores:])
+        trace.loads.extend(source.loads[snapshot.n_loads:])
+        trace.returned = source.returned
+        trace.outcome = source.outcome
+        trace.trap_kind = source.trap_kind
+        trace.cycles = source.cycles
+        return trace
+
+    def _execute(self, registers, memory, trace, pc, cycle, upsets,
+                 max_cycles, record_executed, record_registers,
+                 snapshot_interval=None, snapshots=None, converge=None):
+        """The interpreter loop, shared by :meth:`run` and
+        :meth:`run_from`; mutates and returns *trace*."""
+        width = self.width
+        value_mask = mask(width)
+        program = self._program
         executed = trace.executed
         outputs = trace.outputs
         stores = trace.stores
         register_log = None
         if record_registers:
             register_log = trace.register_log = []
-
-        def apply_injection(upset):
-            if isinstance(upset, MemoryInjection):
-                target = upset.address + upset.bit // 8
-                if target < self.memory_size:
-                    memory[target] ^= 1 << (upset.bit % 8)
-            else:
-                registers[upset.reg] = (registers.get(upset.reg, 0)
-                                        ^ (1 << upset.bit)) & value_mask
-
-        if injection is None:
-            upsets = []
-        elif isinstance(injection, (list, tuple)):
-            upsets = sorted(injection, key=lambda upset: upset.cycle)
-        else:
-            upsets = [injection]
-        while upsets and upsets[0].cycle == -1:
-            apply_injection(upsets.pop(0))
+        capture = (snapshot_interval is not None and snapshots is not None
+                   and not upsets)
+        converge_index = 0
+        converge_cycle = converge[0].cycle if converge else None
         inject_cycle = upsets[0].cycle if upsets else None
 
         def read(reg):
@@ -193,14 +339,26 @@ class Machine:
                 # power-on value; zero keeps runs deterministic.
                 return 0
 
-        pc = 0
-        cycle = 0
         memory_size = self.memory_size
         try:
             while pc is not None:
                 if cycle >= max_cycles:
                     trace.outcome = OUTCOME_TIMEOUT
                     break
+                if capture and cycle % snapshot_interval == 0:
+                    snapshots.append(Snapshot(cycle, pc, dict(registers),
+                                              bytes(memory), trace))
+                if converge_cycle is not None and cycle == converge_cycle:
+                    candidate = converge[converge_index]
+                    if pc == candidate.pc \
+                            and registers == candidate.registers \
+                            and memory == candidate.memory:
+                        return self._splice_golden_suffix(
+                            trace, candidate, record_executed)
+                    converge_index += 1
+                    converge_cycle = (converge[converge_index].cycle
+                                      if converge_index < len(converge)
+                                      else None)
                 decoded = program[pc]
                 kind = decoded[0]
                 if record_executed:
@@ -274,7 +432,8 @@ class Machine:
                     register_log.append(dict(registers))
                 cycle += 1
                 while inject_cycle is not None and cycle - 1 == inject_cycle:
-                    apply_injection(upsets.pop(0))
+                    _apply_upset(upsets.pop(0), registers, memory,
+                                 memory_size, value_mask)
                     inject_cycle = upsets[0].cycle if upsets else None
         except MachineTrap as trap:
             trace.outcome = OUTCOME_TRAP

@@ -144,18 +144,28 @@ def inject_on_read_population(function, trace, bec=None, liveness=None):
 
 
 def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
-                 bec=None, golden=None, confidence=0.95):
+                 bec=None, golden=None, confidence=0.95,
+                 checkpoint_interval=None):
     """Estimate the AVF of *function* by sampling *budget* fault sites.
 
     Samples uniformly with replacement from the inject-on-read
     population of *trace*.  With *bec* the outcome of each equivalence
     class epoch is computed once and reused (and masked sites are free),
     which cuts simulator runs without changing the estimator's
-    distribution.
+    distribution.  With *checkpoint_interval* each simulator run resumes
+    from the deepest golden-run snapshot before its injection cycle
+    (identical outcomes, shorter runs).
     """
     if budget <= 0:
         raise ValueError("budget must be positive")
     golden = golden or machine.run(regs=regs)
+    max_cycles = 4 * golden.cycles + 1024
+    snapshots = None
+    if checkpoint_interval:
+        from repro.fi.engine import run_injection
+        _, snapshots = machine.run_with_snapshots(
+            regs=regs, interval=checkpoint_interval,
+            max_cycles=max_cycles)
     population = inject_on_read_population(function, trace, bec=bec)
     if not population:
         raise ValueError("empty fault population; nothing to sample")
@@ -169,8 +179,13 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
             continue            # proven masked: never vulnerable
         outcome = cache.get(site.key)
         if outcome is None:
-            injected = machine.run(regs=regs, injection=site.injection,
-                                   max_cycles=4 * golden.cycles + 1024)
+            if snapshots:
+                injected = run_injection(machine, site.injection, regs,
+                                         snapshots, max_cycles)
+            else:
+                injected = machine.run(regs=regs,
+                                       injection=site.injection,
+                                       max_cycles=max_cycles)
             outcome = classify_effect(golden, injected) != EFFECT_MASKED
             cache[site.key] = outcome
             simulator_runs += 1
@@ -183,11 +198,14 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
                        population=len(population))
 
 
-def exhaustive_avf(machine, function, trace, regs=None, golden=None):
+def exhaustive_avf(machine, function, trace, regs=None, golden=None,
+                   workers=1, checkpoint_interval=None):
     """Ground-truth AVF: run the full inject-on-read campaign."""
     golden = golden or machine.run(regs=regs)
     plan = plan_inject_on_read(function, trace)
-    result = run_campaign(machine, plan, regs=regs, golden=golden)
+    result = run_campaign(machine, plan, regs=regs, golden=golden,
+                          workers=workers,
+                          checkpoint_interval=checkpoint_interval)
     if not plan:
         raise ValueError("empty fault population; nothing to inject")
     return result.vulnerable_runs() / len(plan)

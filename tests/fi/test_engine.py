@@ -1,0 +1,181 @@
+"""Tests for the checkpointed, parallel campaign engine.
+
+The engine's contract is bit-identical aggregates: serial, parallel
+(``workers=4``) and checkpointed execution of the same plan must agree
+on run order, per-run effects, ``effect_counts()``,
+``vulnerable_runs()`` and trace signatures.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fi.campaign import (plan_exhaustive, plan_bec, run_campaign)
+from repro.fi.engine import CampaignEngine, pick_snapshot
+from repro.fi.machine import Injection, Machine
+from repro.experiments.common import benchmark_run
+
+
+def strided_exhaustive_plan(function, golden, cycle_stride, registers,
+                            bits):
+    """A small but cycle-spanning slice of the exhaustive plan, so
+    checkpointing actually has distinct snapshots to resume from."""
+    full = plan_exhaustive(function, golden, registers=registers)
+    width = function.bit_width
+    plan = [run for run in full
+            if run.injection.cycle % cycle_stride == 0
+            and run.injection.bit in bits]
+    assert plan, "empty strided plan"
+    assert len({run.injection.cycle for run in plan}) > 2
+    del width
+    return plan
+
+
+def assert_identical(base, other):
+    assert [(effect, signature) for _, effect, signature in base.runs] \
+        == [(effect, signature) for _, effect, signature in other.runs]
+    assert base.effect_counts() == other.effect_counts()
+    assert base.vulnerable_runs() == other.vulnerable_runs()
+    assert base.distinct_traces == other.distinct_traces
+    assert base.archived_bytes == other.archived_bytes
+
+
+class TestSnapshots:
+    def test_snapshot_cycles_and_initial_state(self, motivating_machine):
+        golden, snapshots = motivating_machine.run_with_snapshots(
+            interval=8)
+        assert [snapshot.cycle for snapshot in snapshots] \
+            == list(range(0, golden.cycles, 8))
+        assert snapshots[0].pc == 0
+        assert snapshots[0].n_executed == 0
+
+    def test_run_from_matches_full_run(self, motivating_function,
+                                       motivating_machine):
+        golden, snapshots = motivating_machine.run_with_snapshots(
+            interval=8)
+        budget = 4 * golden.cycles + 256
+        for cycle in (-1, 0, 7, 8, 23, golden.cycles - 1):
+            injection = Injection(cycle, "v", 1)
+            snapshot = pick_snapshot(snapshots, cycle)
+            assert snapshot is not None
+            full = motivating_machine.run(injection=injection,
+                                          max_cycles=budget)
+            tail = motivating_machine.run_from(snapshot,
+                                               injection=injection,
+                                               max_cycles=budget)
+            assert tail.key() == full.key()
+            assert tail.signature() == full.signature()
+            assert tail.cycles == full.cycles
+            assert tail.loads == full.loads
+
+    def test_run_from_rejects_past_injection(self, motivating_machine):
+        _, snapshots = motivating_machine.run_with_snapshots(interval=8)
+        late = snapshots[2]       # cycle 16
+        with pytest.raises(SimulationError):
+            motivating_machine.run_from(late, injection=Injection(3, "v", 0))
+
+    def test_invalid_interval(self, motivating_machine):
+        with pytest.raises(SimulationError):
+            motivating_machine.run_with_snapshots(interval=0)
+
+    def test_faulted_runs_never_snapshot(self, motivating_machine):
+        """A cycle=-1 upset is applied before the interpreter loop and
+        must not slip past the clean-run guard — snapshots of a faulted
+        machine would poison every resumed tail."""
+        snapshots = []
+        motivating_machine.run(injection=Injection(-1, "v", 0),
+                               snapshot_interval=8, snapshots=snapshots)
+        assert snapshots == []
+
+    def test_pick_snapshot(self, motivating_machine):
+        _, snapshots = motivating_machine.run_with_snapshots(interval=8)
+        assert pick_snapshot(snapshots, -1).cycle == 0
+        assert pick_snapshot(snapshots, 0).cycle == 0
+        assert pick_snapshot(snapshots, 7).cycle == 0
+        assert pick_snapshot(snapshots, 8).cycle == 8
+        assert pick_snapshot(snapshots, 1000).cycle == snapshots[-1].cycle
+        assert pick_snapshot([], 5) is None
+
+
+class TestEngineParityMotivating:
+    def test_serial_engine_equals_run_campaign(self, motivating_function,
+                                               motivating_machine,
+                                               motivating_golden,
+                                               motivating_bec):
+        plan = plan_bec(motivating_function, motivating_golden,
+                        motivating_bec)
+        base = run_campaign(motivating_machine, plan,
+                            golden=motivating_golden)
+        engine = CampaignEngine(motivating_machine, plan,
+                                golden=motivating_golden)
+        assert_identical(base, engine.run())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 4},
+        {"checkpoint_interval": 8},
+        {"workers": 4, "checkpoint_interval": 8},
+    ])
+    def test_engine_modes_identical(self, motivating_function,
+                                    motivating_machine, motivating_golden,
+                                    kwargs):
+        plan = plan_exhaustive(motivating_function, motivating_golden)
+        engine = CampaignEngine(motivating_machine, plan,
+                                golden=motivating_golden)
+        assert_identical(engine.run(), engine.run(**kwargs))
+
+    def test_progress_callback(self, motivating_function,
+                               motivating_machine, motivating_golden):
+        plan = plan_exhaustive(motivating_function, motivating_golden)
+        seen = []
+        engine = CampaignEngine(motivating_machine, plan,
+                                golden=motivating_golden)
+        engine.run(workers=2, progress=lambda done, total:
+                   seen.append((done, total)))
+        assert seen[-1] == (len(plan), len(plan))
+        assert [done for done, _ in seen] == sorted(done
+                                                    for done, _ in seen)
+
+
+@pytest.mark.parametrize("name,cycle_stride,bits", [
+    ("bitcount", 97, (0, 13)),
+    ("CRC32", 389, (5,)),
+])
+class TestEngineParityBenchmarks:
+    """Serial vs workers=4 vs checkpointed on the compiled benchmarks
+    (the motivating program above is the third parity subject)."""
+
+    def _plans(self, name, cycle_stride, bits):
+        run = benchmark_run(name)
+        registers = run.function.registers()[::5]
+        plan = strided_exhaustive_plan(run.function, run.golden,
+                                       cycle_stride, registers, bits)
+        return run, plan
+
+    def test_parallel_and_checkpointed_identical(self, name, cycle_stride,
+                                                 bits):
+        run, plan = self._plans(name, cycle_stride, bits)
+        engine = CampaignEngine(run.machine, plan, regs=run.regs,
+                                golden=run.golden)
+        base = engine.run()
+        interval = max(1, run.golden.cycles // 16)
+        assert_identical(base, engine.run(workers=4))
+        assert_identical(base, engine.run(checkpoint_interval=interval))
+        assert_identical(base, engine.run(workers=4,
+                                          checkpoint_interval=interval))
+
+
+class TestSamplingCheckpointParity:
+    def test_estimate_avf_checkpointed_is_identical(self,
+                                                    motivating_function,
+                                                    motivating_machine,
+                                                    motivating_golden):
+        from repro.fi.sampling import estimate_avf
+        plain = estimate_avf(motivating_machine, motivating_function,
+                             motivating_golden, 200, seed=7,
+                             golden=motivating_golden)
+        checked = estimate_avf(motivating_machine, motivating_function,
+                               motivating_golden, 200, seed=7,
+                               golden=motivating_golden,
+                               checkpoint_interval=8)
+        assert checked.avf == plain.avf
+        assert checked.vulnerable == plain.vulnerable
+        assert (checked.low, checked.high) == (plain.low, plain.high)

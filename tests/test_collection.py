@@ -1,0 +1,40 @@
+"""Regression test for the duplicate-basename collection error.
+
+The seed tree had ``tests/ir/test_parser.py`` and
+``tests/minic/test_parser.py`` with no package ``__init__.py``: pytest
+imported both as top-level ``test_parser`` and died at collection with
+"import file mismatch" whenever a stale ``__pycache__`` was present.
+The ``__init__.py`` files give every test module a unique dotted name;
+this test pins that both files collect in one pytest invocation.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_both_parser_test_files_are_collected():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q",
+         "tests/ir/test_parser.py", "tests/minic/test_parser.py"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=120)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "tests/ir/test_parser.py" in proc.stdout
+    assert "tests/minic/test_parser.py" in proc.stdout
+    assert "import file mismatch" not in proc.stdout
+
+
+def test_every_test_directory_is_a_package():
+    for directory, _, files in os.walk(REPO_ROOT / "tests"):
+        if "__pycache__" in directory:
+            continue
+        if any(name.endswith(".py") for name in files):
+            assert "__init__.py" in files, f"{directory} is not a package"
