@@ -21,6 +21,7 @@ only ever rises in the lattice, which guarantees termination.
 """
 
 import enum
+import functools
 
 from repro.ir.concrete import mask as width_mask
 
@@ -70,21 +71,34 @@ class BitVector:
         self.bot = bot
 
     # -- constructors ---------------------------------------------------------
+    #
+    # top/bottom/const are interned: vectors are immutable (nothing in
+    # the package writes the mask attributes after construction, and
+    # __eq__/__hash__ are value-based), and the analyses call these
+    # constructors once per state lookup — without interning,
+    # compute_bit_values and _meet_states allocate a fresh bottom
+    # vector per absent register.
 
     @classmethod
     def bottom(cls, width):
         """All bits undefined (no assignment seen yet)."""
+        if cls is BitVector:
+            return _interned_bottom(width)
         return cls(width, bot=width_mask(width))
 
     @classmethod
     def top(cls, width):
         """All bits unknown at compile time."""
+        if cls is BitVector:
+            return _interned_top(width)
         return cls(width)
 
     @classmethod
     def const(cls, width, value):
         """All bits known; *value* is truncated to *width*."""
         value &= width_mask(width)
+        if cls is BitVector:
+            return _interned_const(width, value)
         return cls(width, ones=value, zeros=width_mask(width) & ~value)
 
     @classmethod
@@ -224,3 +238,18 @@ class BitVector:
 
     def __repr__(self):
         return f"BitVector({self.width}, '{self}')"
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_bottom(width):
+    return BitVector(width, bot=width_mask(width))
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_top(width):
+    return BitVector(width)
+
+
+@functools.lru_cache(maxsize=4096)
+def _interned_const(width, value):
+    return BitVector(width, ones=value, zeros=width_mask(width) & ~value)

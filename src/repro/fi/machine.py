@@ -7,16 +7,32 @@ register is flipped after a given dynamic cycle, exactly the model the
 paper uses for its campaigns (one fault per run, faults persist until
 overwritten).
 
-The interpreter is deliberately simple and bit-accurate; all arithmetic
-goes through :mod:`repro.ir.concrete`, the same definitions the static
-analyses use.
+Two execution cores share the machine's public API and produce
+bit-identical traces:
+
+* the **threaded core** (the default): registers live in a dense
+  ``list`` indexed by decode-time slot numbers, and every instruction is
+  compiled once into a specialized closure by
+  :mod:`repro.fi.threaded` — the hot loop is one closure call per
+  cycle, with injections, snapshots and convergence checks handled at
+  precomputed cycle boundaries between tight runs;
+* the **reference core** (``core="reference"``): the original
+  tuple-tag interpreter, kept as the differential-testing oracle
+  (``tests/fuzz/test_interp_differential.py``) and as the host of
+  ``record_registers`` runs, whose per-cycle register dictionaries it
+  defines.
+
+All arithmetic is bit-accurate; the reference core routes it through
+:mod:`repro.ir.concrete`, the same definitions the static analyses use,
+and the threaded core inlines those semantics at decode time.
 """
 
 from repro.errors import MachineTrap, SimulationError
+from repro.fi import threaded
+from repro.fi.trace import OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP, Trace
 from repro.ir.concrete import alu, branch_taken, mask, unary
 from repro.ir.instructions import Format, Opcode
 from repro.ir.registers import ZERO
-from repro.fi.trace import OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP, Trace
 
 #: Default dynamic instruction budget per run.
 DEFAULT_MAX_CYCLES = 2_000_000
@@ -29,6 +45,11 @@ class Injection:
     after the instruction at trace position ``t`` completes, i.e. inside
     the fault window that opens at that access.  ``cycle=-1`` flips the
     bit before execution starts.
+
+    The bit index is validated against the actual register width when
+    the injection meets a machine (:meth:`Machine.run`), so a campaign
+    plan with out-of-range sites fails loudly instead of silently
+    flipping nothing.
     """
 
     __slots__ = ("cycle", "reg", "bit")
@@ -52,7 +73,9 @@ class MemoryInjection:
     ``bit`` indexes little-endian within the word starting at
     *address*: bit 11 flips bit 3 of the byte at ``address + 1``.
     The paper's model covers this case explicitly — "data points may
-    refer to memory cells if data in memory is modeled" (§II).
+    refer to memory cells if data in memory is modeled" (§II).  Targets
+    past the machine's memory are rejected when the injection meets a
+    machine, not silently ignored.
     """
 
     __slots__ = ("cycle", "address", "bit")
@@ -79,26 +102,43 @@ class Snapshot:
     and executes only the tail, which is what makes exhaustive
     campaigns O(runs × avg-tail) instead of O(runs × trace-length).
 
-    The trace prefix is not copied eagerly: a snapshot keeps a
-    reference to the (immutable once the golden run finishes) golden
-    trace plus the prefix lengths, and :meth:`Machine.run_from` slices
-    the prefix per resumed run.  ``memory`` is stored as immutable
-    :class:`bytes` so each restore is a single copy.
+    ``registers`` is the raw register file of the core that took the
+    snapshot: a slot-indexed list for the threaded core (restore is one
+    ``list()`` copy), a dict for the reference core.  Use
+    :meth:`register_dict` for core-independent introspection.  The trace
+    prefix is not copied eagerly: a snapshot keeps a reference to the
+    (immutable once the golden run finishes) golden trace plus the
+    prefix lengths, and :meth:`Machine.run_from` slices the prefix per
+    resumed run.  ``memory`` is stored as immutable :class:`bytes` so
+    each restore is a single copy.
     """
 
     __slots__ = ("cycle", "pc", "registers", "memory", "trace",
-                 "n_executed", "n_outputs", "n_stores", "n_loads")
+                 "n_executed", "n_outputs", "n_stores", "n_loads",
+                 "reg_names")
 
-    def __init__(self, cycle, pc, registers, memory, trace):
+    def __init__(self, cycle, pc, registers, memory, trace,
+                 reg_names=None):
         self.cycle = cycle
         self.pc = pc
         self.registers = registers
         self.memory = memory
         self.trace = trace
+        self.reg_names = reg_names
         self.n_executed = len(trace.executed)
         self.n_outputs = len(trace.outputs)
         self.n_stores = len(trace.stores)
         self.n_loads = len(trace.loads)
+
+    def register_dict(self):
+        """Register file as a ``{name: value}`` dict, whichever core
+        took the snapshot (the zero register is omitted)."""
+        if isinstance(self.registers, dict):
+            return {reg: value for reg, value in self.registers.items()
+                    if reg != ZERO}
+        return {name: value
+                for name, value in zip(self.reg_names, self.registers)
+                if name != ZERO}
 
     def byte_size(self):
         """Approximate in-memory footprint (for accounting/benchmarks)."""
@@ -109,15 +149,24 @@ class Snapshot:
                 f"regs={len(self.registers)}>")
 
 
-def _apply_upset(upset, registers, memory, memory_size, value_mask):
-    """Flip the bit named by *upset* in the register file or memory."""
+def _apply_upset(upset, registers, memory, value_mask):
+    """Flip the bit named by *upset* in a dict register file or memory
+    (the reference core's variant; sites are validated up front)."""
     if isinstance(upset, MemoryInjection):
-        target = upset.address + upset.bit // 8
-        if target < memory_size:
-            memory[target] ^= 1 << (upset.bit % 8)
+        memory[upset.address + upset.bit // 8] ^= 1 << (upset.bit % 8)
     else:
         registers[upset.reg] = (registers.get(upset.reg, 0)
                                 ^ (1 << upset.bit)) & value_mask
+
+
+def _apply_slot_upset(upset, slot_of, registers, memory):
+    """Flip the bit named by *upset* in a slot-indexed register file or
+    memory.  Validation guarantees the bit is inside the register width
+    and the memory target is in bounds, so no masking is needed."""
+    if isinstance(upset, MemoryInjection):
+        memory[upset.address + upset.bit // 8] ^= 1 << (upset.bit % 8)
+    else:
+        registers[slot_of[upset.reg]] ^= 1 << upset.bit
 
 
 def _sorted_upsets(injection):
@@ -128,17 +177,53 @@ def _sorted_upsets(injection):
     return [injection]
 
 
-class Machine:
-    """Executable image of one function plus a memory."""
+def _register_lists_match(current, reference):
+    """Slot-file equality, tolerating a file grown (by injections into
+    registers the program never names) past the snapshot's length: the
+    extra slots must simply still be zero."""
+    if len(current) == len(reference):
+        return current == reference
+    short, grown = ((reference, current)
+                    if len(reference) < len(current)
+                    else (current, reference))
+    return grown[:len(short)] == short and not any(grown[len(short):])
 
-    def __init__(self, function, memory_size=1 << 16, memory_image=None):
+
+class Machine:
+    """Executable image of one function plus a memory.
+
+    ``core`` selects the execution core: ``"threaded"`` (default) or
+    ``"reference"`` (the retained tuple-tag interpreter).  Both produce
+    bit-identical traces; campaign tooling should never need anything
+    but the default.
+    """
+
+    def __init__(self, function, memory_size=1 << 16, memory_image=None,
+                 core="threaded"):
+        if core not in ("threaded", "reference"):
+            raise SimulationError(f"unknown execution core {core!r}")
         self.function = function
         self.width = function.bit_width
         self.memory_size = memory_size
         self.memory_image = bytes(memory_image or b"")
+        self.core = core
         if len(self.memory_image) > memory_size:
             raise SimulationError("memory image larger than memory")
+        self._value_mask = mask(self.width)
         self._decode()
+
+    # -- decode ------------------------------------------------------------------
+
+    def _slot(self, reg):
+        """Dense slot index of *reg*, growing the slot table on first
+        use (injections and inputs may name registers the program never
+        touches)."""
+        slot = self._slot_of.get(reg)
+        if slot is None:
+            slot = len(self._reg_of)
+            self._slot_of[reg] = slot
+            self._reg_of.append(reg)
+        return slot
 
     def _decode(self):
         function = self.function
@@ -146,6 +231,39 @@ class Machine:
         for block in function.blocks:
             if block.instructions:
                 self._first_pp[block.label] = block.instructions[0].pp
+        self._slot_of = {ZERO: 0}
+        self._reg_of = [ZERO]
+        for param in function.params:
+            self._slot(param)
+        # Each core's program is compiled on first use: a reference
+        # machine never pays for the threaded closures and vice versa
+        # (record_registers and cross-core snapshots pull in the other
+        # core on demand).
+        self._ops = None
+        self._program = None
+
+    def _threaded_ops(self):
+        """The threaded-code program, compiled on first use.
+
+        Must run before sizing any slot register file: compilation may
+        grow the slot table with registers the program names but no
+        injection or input has touched yet.
+        """
+        if self._ops is None:
+            self._ops = threaded.compile_ops(self.function, self._slot,
+                                             self._first_pp,
+                                             self.memory_size)
+        return self._ops
+
+    def _reference_program(self):
+        """The original tuple-tag decode, kept for the reference core
+        (compiled on first use)."""
+        if self._program is None:
+            self._decode_reference()
+        return self._program
+
+    def _decode_reference(self):
+        function = self.function
         program = []
         total = len(function.instructions)
         for instruction in function.instructions:
@@ -188,6 +306,28 @@ class Machine:
                 raise SimulationError(f"cannot decode {instruction}")
         self._program = program
 
+    # -- fault-site validation ---------------------------------------------------
+
+    def _prepare_upsets(self, injection):
+        """Sort the upsets and validate every site against this machine
+        (register width, memory bounds) so bad campaign plans fail
+        loudly before any simulation happens."""
+        upsets = _sorted_upsets(injection)
+        for upset in upsets:
+            if isinstance(upset, MemoryInjection):
+                if upset.address + upset.bit // 8 >= self.memory_size:
+                    raise SimulationError(
+                        f"memory injection at address {upset.address} "
+                        f"bit {upset.bit} is outside the "
+                        f"{self.memory_size}-byte memory")
+            else:
+                if not 0 <= upset.bit < self.width:
+                    raise SimulationError(
+                        f"injection bit {upset.bit} is outside the "
+                        f"{self.width}-bit register {upset.reg!r}")
+                self._slot(upset.reg)
+        return upsets
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, regs=None, injection=None, max_cycles=DEFAULT_MAX_CYCLES,
@@ -203,14 +343,50 @@ class Machine:
         ``record_registers`` the trace carries one register-file
         snapshot per executed instruction (taken right after it
         completes, before any injection fires) — the oracle the
-        bit-value soundness fuzzer compares against.
+        bit-value soundness fuzzer compares against; such runs always
+        execute on the reference core, whose per-cycle dictionaries
+        define ``Trace.register_log``.
 
         With ``snapshot_interval=N`` (clean runs only — snapshots of a
         faulted run would poison every resumed tail) a :class:`Snapshot`
         is appended to the ``snapshots`` list every N executed
         instructions, starting at cycle 0.
         """
-        value_mask = mask(self.width)
+        upsets = self._prepare_upsets(injection)
+        if upsets:
+            # Never snapshot a faulted run — a pre-execution (cycle=-1)
+            # upset would otherwise leave `upsets` empty by the time
+            # the interpreter checks, poisoning every resumed tail.
+            snapshot_interval = snapshots = None
+        if self.core == "reference" or record_registers:
+            return self._run_reference(regs, upsets, max_cycles,
+                                       record_executed, record_registers,
+                                       snapshot_interval, snapshots)
+        self._threaded_ops()
+        value_mask = self._value_mask
+        if regs:
+            for reg in regs:
+                if reg != ZERO:
+                    self._slot(reg)
+        registers = [0] * len(self._reg_of)
+        if regs:
+            for reg, value in regs.items():
+                if reg != ZERO:
+                    registers[self._slot_of[reg]] = value & value_mask
+        memory = bytearray(self.memory_size)
+        memory[:len(self.memory_image)] = self.memory_image
+        trace = Trace()
+        slot_of = self._slot_of
+        while upsets and upsets[0].cycle == -1:
+            _apply_slot_upset(upsets.pop(0), slot_of, registers, memory)
+        return self._execute_threaded(registers, memory, trace, 0, 0,
+                                      upsets, max_cycles, record_executed,
+                                      snapshot_interval=snapshot_interval,
+                                      snapshots=snapshots)
+
+    def _run_reference(self, regs, upsets, max_cycles, record_executed,
+                       record_registers, snapshot_interval, snapshots):
+        value_mask = self._value_mask
         registers = {}
         if regs:
             for reg, value in regs.items():
@@ -218,20 +394,13 @@ class Machine:
         memory = bytearray(self.memory_size)
         memory[:len(self.memory_image)] = self.memory_image
         trace = Trace()
-        upsets = _sorted_upsets(injection)
-        if upsets:
-            # Never snapshot a faulted run — a pre-execution (cycle=-1)
-            # upset would otherwise leave `upsets` empty by the time
-            # _execute checks, poisoning every resumed tail.
-            snapshot_interval = snapshots = None
         while upsets and upsets[0].cycle == -1:
-            _apply_upset(upsets.pop(0), registers, memory,
-                         self.memory_size, value_mask)
-        return self._execute(registers, memory, trace, 0, 0, upsets,
-                             max_cycles, record_executed,
-                             record_registers,
-                             snapshot_interval=snapshot_interval,
-                             snapshots=snapshots)
+            _apply_upset(upsets.pop(0), registers, memory, value_mask)
+        return self._execute_reference(registers, memory, trace, 0, 0,
+                                       upsets, max_cycles, record_executed,
+                                       record_registers,
+                                       snapshot_interval=snapshot_interval,
+                                       snapshots=snapshots)
 
     def run_with_snapshots(self, regs=None, interval=64,
                            max_cycles=DEFAULT_MAX_CYCLES):
@@ -267,20 +436,15 @@ class Machine:
         of being re-executed — masked runs then cost
         O(fault-lifetime + interval) instead of O(tail).
         """
-        upsets = _sorted_upsets(injection)
+        upsets = self._prepare_upsets(injection)
         if upsets and upsets[0].cycle < snapshot.cycle \
                 and not (upsets[0].cycle == -1 and snapshot.cycle == 0):
             raise SimulationError(
                 f"injection at cycle {upsets[0].cycle} precedes "
                 f"snapshot at cycle {snapshot.cycle}")
-        value_mask = mask(self.width)
-        registers = dict(snapshot.registers)
         memory = bytearray(snapshot.memory)
-        while upsets and upsets[0].cycle == -1:
-            _apply_upset(upsets.pop(0), registers, memory,
-                         self.memory_size, value_mask)
-        source = snapshot.trace
         trace = Trace()
+        source = snapshot.trace
         trace.executed = source.executed[:snapshot.n_executed]
         trace.outputs = source.outputs[:snapshot.n_outputs]
         trace.stores = source.stores[:snapshot.n_stores]
@@ -289,9 +453,68 @@ class Machine:
                          default=snapshot.cycle)
         converge = [candidate for candidate in converge or ()
                     if candidate.cycle > max(last_upset, snapshot.cycle)]
-        return self._execute(registers, memory, trace, snapshot.pc,
-                             snapshot.cycle, upsets, max_cycles,
-                             record_executed, False, converge=converge)
+        if self.core == "reference":
+            registers = self._snapshot_register_dict(snapshot)
+            while upsets and upsets[0].cycle == -1:
+                _apply_upset(upsets.pop(0), registers, memory,
+                             self._value_mask)
+            return self._execute_reference(registers, memory, trace,
+                                           snapshot.pc, snapshot.cycle,
+                                           upsets, max_cycles,
+                                           record_executed, False,
+                                           converge=converge)
+        self._threaded_ops()
+        registers = self._snapshot_register_list(snapshot)
+        slot_of = self._slot_of
+        while upsets and upsets[0].cycle == -1:
+            _apply_slot_upset(upsets.pop(0), slot_of, registers, memory)
+        return self._execute_threaded(registers, memory, trace,
+                                      snapshot.pc, snapshot.cycle, upsets,
+                                      max_cycles, record_executed,
+                                      converge=converge)
+
+    def _snapshot_register_list(self, snapshot):
+        """Slot-indexed register file restored from *snapshot* (which
+        may have been taken by either core)."""
+        source = snapshot.registers
+        if isinstance(source, dict):
+            for reg in source:
+                if reg != ZERO:
+                    self._slot(reg)
+            registers = [0] * len(self._reg_of)
+            for reg, value in source.items():
+                if reg != ZERO:
+                    registers[self._slot_of[reg]] = value
+            return registers
+        if snapshot.reg_names is self._reg_of:
+            # Taken by this machine: slots line up positionally (the
+            # slot table only ever grows, so at worst we pad).
+            registers = list(source)
+            if len(registers) < len(self._reg_of):
+                registers.extend([0] * (len(self._reg_of)
+                                        - len(registers)))
+            return registers
+        # Taken by another machine, whose slot order may differ (slot
+        # assignment depends on which injections ran first): remap by
+        # register name, never by position.
+        for reg in snapshot.reg_names[:len(source)]:
+            if reg != ZERO:
+                self._slot(reg)
+        registers = [0] * len(self._reg_of)
+        for reg, value in zip(snapshot.reg_names, source):
+            if reg != ZERO:
+                registers[self._slot_of[reg]] = value
+        return registers
+
+    def _snapshot_register_dict(self, snapshot):
+        """Dict register file restored from *snapshot* (which may have
+        been taken by either core)."""
+        source = snapshot.registers
+        if isinstance(source, dict):
+            return dict(source)
+        return {reg: value
+                for reg, value in zip(snapshot.reg_names, source)
+                if reg != ZERO}
 
     @staticmethod
     def _splice_golden_suffix(trace, snapshot, record_executed):
@@ -309,14 +532,117 @@ class Machine:
         trace.cycles = source.cycles
         return trace
 
-    def _execute(self, registers, memory, trace, pc, cycle, upsets,
-                 max_cycles, record_executed, record_registers,
-                 snapshot_interval=None, snapshots=None, converge=None):
-        """The interpreter loop, shared by :meth:`run` and
-        :meth:`run_from`; mutates and returns *trace*."""
+    # -- the threaded core -------------------------------------------------------
+
+    def _execute_threaded(self, registers, memory, trace, pc, cycle,
+                          upsets, max_cycles, record_executed,
+                          snapshot_interval=None, snapshots=None,
+                          converge=None):
+        """The threaded-code interpreter loop.
+
+        The per-cycle overhead is one closure call.  Everything that is
+        *conditional* per cycle in the reference core — injections, the
+        cycle budget, snapshot capture, convergence checks — is turned
+        into a precomputed stop cycle, and the inner loop runs
+        check-free up to it.
+        """
+        ops = self._ops
+        executed_append = trace.executed.append
+        slot_of = self._slot_of
+        capture = (snapshot_interval is not None and snapshots is not None
+                   and not upsets)
+        next_capture = cycle if capture else None
+        converge_index = 0
+        converge_cycle = converge[0].cycle if converge else None
+        inject_cycle = upsets[0].cycle if upsets else None
+        ended_at = None     # pp of the instruction that ended the run
+        try:
+            while pc is not None:
+                stop = max_cycles
+                if inject_cycle is not None and inject_cycle + 1 < stop:
+                    stop = inject_cycle + 1
+                if next_capture is not None and next_capture < stop:
+                    stop = next_capture
+                if converge_cycle is not None and converge_cycle < stop:
+                    stop = converge_cycle
+                if record_executed:
+                    while cycle < stop:
+                        executed_append(pc)
+                        next_pc = ops[pc](registers, memory, trace, cycle)
+                        cycle += 1
+                        if next_pc is None:
+                            ended_at = pc
+                            pc = None
+                            break
+                        pc = next_pc
+                else:
+                    while cycle < stop:
+                        next_pc = ops[pc](registers, memory, trace, cycle)
+                        cycle += 1
+                        if next_pc is None:
+                            ended_at = pc
+                            pc = None
+                            break
+                        pc = next_pc
+                if pc is None:
+                    break
+                # Event order matches the reference core: upsets fire at
+                # the tail of the previous cycle, then the budget check,
+                # then capture, then convergence — all before the
+                # instruction at `cycle` executes.
+                while upsets and upsets[0].cycle + 1 == cycle:
+                    _apply_slot_upset(upsets.pop(0), slot_of, registers,
+                                      memory)
+                inject_cycle = upsets[0].cycle if upsets else None
+                if cycle >= max_cycles:
+                    trace.outcome = OUTCOME_TIMEOUT
+                    break
+                if next_capture is not None and cycle == next_capture:
+                    snapshots.append(Snapshot(cycle, pc, registers[:],
+                                              bytes(memory), trace,
+                                              reg_names=self._reg_of))
+                    next_capture += snapshot_interval
+                if converge_cycle is not None and cycle == converge_cycle:
+                    candidate = converge[converge_index]
+                    creg = candidate.registers
+                    # Positional compare is only sound for snapshots of
+                    # this machine's own slot table; foreign candidates
+                    # conservatively never converge.
+                    if pc == candidate.pc and isinstance(creg, list) \
+                            and candidate.reg_names is self._reg_of \
+                            and _register_lists_match(registers, creg) \
+                            and memory == candidate.memory:
+                        return self._splice_golden_suffix(
+                            trace, candidate, record_executed)
+                    converge_index += 1
+                    converge_cycle = (converge[converge_index].cycle
+                                      if converge_index < len(converge)
+                                      else None)
+        except MachineTrap as trap:
+            trace.outcome = OUTCOME_TRAP
+            trace.trap_kind = trap.kind
+        trace.cycles = cycle
+        if trace.outcome == OUTCOME_OK and cycle >= max_cycles \
+                and ended_at is not None \
+                and self.function.instruction_at(ended_at).opcode \
+                is Opcode.RET:
+            # The reference core classifies a `ret` on exactly the last
+            # budgeted cycle as a timeout (its loop re-enters the budget
+            # check before noticing the return); match it bit-for-bit.
+            trace.outcome = OUTCOME_TIMEOUT
+        return trace
+
+    # -- the reference core ------------------------------------------------------
+
+    def _execute_reference(self, registers, memory, trace, pc, cycle,
+                           upsets, max_cycles, record_executed,
+                           record_registers, snapshot_interval=None,
+                           snapshots=None, converge=None):
+        """The original tuple-tag interpreter loop, retained as the
+        differential oracle; mutates and returns *trace*."""
         width = self.width
-        value_mask = mask(width)
-        program = self._program
+        value_mask = self._value_mask
+        program = self._reference_program()
         executed = trace.executed
         outputs = trace.outputs
         stores = trace.stores
@@ -351,6 +677,7 @@ class Machine:
                 if converge_cycle is not None and cycle == converge_cycle:
                     candidate = converge[converge_index]
                     if pc == candidate.pc \
+                            and isinstance(candidate.registers, dict) \
                             and registers == candidate.registers \
                             and memory == candidate.memory:
                         return self._splice_golden_suffix(
@@ -433,7 +760,7 @@ class Machine:
                 cycle += 1
                 while inject_cycle is not None and cycle - 1 == inject_cycle:
                     _apply_upset(upsets.pop(0), registers, memory,
-                                 memory_size, value_mask)
+                                 value_mask)
                     inject_cycle = upsets[0].cycle if upsets else None
         except MachineTrap as trap:
             trace.outcome = OUTCOME_TRAP
@@ -444,8 +771,7 @@ class Machine:
             trace.outcome = OUTCOME_TIMEOUT
         return trace
 
-    @staticmethod
-    def _load(memory, size, opcode, address):
+    def _load(self, memory, size, opcode, address):
         if opcode is Opcode.LW:
             if address + 4 > size:
                 raise MachineTrap("load-oob", f"address {address}")
@@ -454,7 +780,9 @@ class Machine:
             raise MachineTrap("load-oob", f"address {address}")
         byte = memory[address]
         if opcode is Opcode.LB and byte >= 0x80:
-            return byte | 0xFFFFFF00
+            # Sign-extend to the machine's actual width (a hard-coded
+            # 32-bit fill would be wrong for any other bit_width).
+            return byte | (self._value_mask & ~0xFF)
         return byte
 
     @staticmethod

@@ -1,0 +1,332 @@
+"""Threaded-code compilation for the ISA simulator.
+
+The legacy interpreter in :mod:`repro.fi.machine` pays a per-cycle tax
+for decisions that never change between cycles: a ``kind`` string
+compare per instruction, a ``read()`` closure call (with a zero-register
+test and a dict lookup) per operand, and :func:`repro.ir.concrete.alu`'s
+per-call opcode dispatch.  This module compiles a finalized function
+into *threaded code* once, at decode time:
+
+* every register is mapped to a dense **slot index** into a plain
+  ``list`` register file (slot 0 is the hard-wired zero register, never
+  written, so zero-reads are ordinary list reads);
+* every instruction becomes one **specialized closure** over its
+  decoded constants — operand slots, pre-masked immediates, pre-bound
+  branch targets and fall-through program points — with the opcode's
+  arithmetic inlined in the closure body (no ``alu()`` dispatch, no
+  re-masking of operands, which the register file keeps masked by
+  construction);
+* writes to the zero register, ``nop`` and ``j`` all collapse to a
+  shared "goto" closure.
+
+Every closure has the uniform signature ``step(regs, memory, trace,
+cycle) -> next_pp`` (``None`` ends the run), so the interpreter loop in
+:meth:`repro.fi.machine.Machine._execute_threaded` is nothing but
+``pc = ops[pc](regs, memory, trace, cycle)``.
+
+The arithmetic closures are generated from expression tables with
+``exec`` (the :func:`collections.namedtuple` technique), so each opcode
+family is written once and instantiated for the register-register,
+immediate and zero-compare forms.  Bit-for-bit equivalence with
+:mod:`repro.ir.concrete` — and hence with the retained reference
+interpreter — is enforced by the differential fuzz suite in
+``tests/fuzz/test_interp_differential.py``.
+"""
+
+from repro.errors import MachineTrap, SimulationError
+from repro.ir.concrete import _div_signed, _rem_signed, mask
+from repro.ir.instructions import Format, Opcode
+
+# -- expression tables --------------------------------------------------------
+#
+# Operands ``a`` and ``b`` are raw register images already truncated to
+# the machine width (the register-file invariant), so only results that
+# can overflow are masked.  Constants available to every expression:
+# ``m`` (the width mask), ``width``, ``sign`` (``1 << (width - 1)``) and
+# ``shift_mask`` (``width - 1``; widths are powers of two, as in
+# RISC-V's shamt rule).  Signed comparisons use the sign-bias trick:
+# ``signed(a) < signed(b)  iff  (a ^ sign) < (b ^ sign)``.
+
+_BINARY_EXPR = {
+    Opcode.ADD: "(a + b) & m",
+    Opcode.ADDI: "(a + b) & m",
+    Opcode.SUB: "(a - b) & m",
+    Opcode.AND: "a & b",
+    Opcode.ANDI: "a & b",
+    Opcode.OR: "a | b",
+    Opcode.ORI: "a | b",
+    Opcode.XOR: "a ^ b",
+    Opcode.XORI: "a ^ b",
+    Opcode.SLL: "(a << (b & shift_mask)) & m",
+    Opcode.SLLI: "(a << (b & shift_mask)) & m",
+    Opcode.SRL: "a >> (b & shift_mask)",
+    Opcode.SRLI: "a >> (b & shift_mask)",
+    Opcode.SRA: "((a - ((a & sign) << 1)) >> (b & shift_mask)) & m",
+    Opcode.SRAI: "((a - ((a & sign) << 1)) >> (b & shift_mask)) & m",
+    Opcode.SLT: "1 if (a ^ sign) < (b ^ sign) else 0",
+    Opcode.SLTI: "1 if (a ^ sign) < (b ^ sign) else 0",
+    Opcode.SLTU: "1 if a < b else 0",
+    Opcode.SLTIU: "1 if a < b else 0",
+    Opcode.MUL: "(a * b) & m",
+    Opcode.MULHU: "(a * b) >> width",
+    Opcode.DIV: "div_signed(a, b, width)",
+    Opcode.DIVU: "m if b == 0 else a // b",
+    Opcode.REM: "rem_signed(a, b, width)",
+    Opcode.REMU: "a if b == 0 else a % b",
+}
+
+_UNARY_EXPR = {
+    Opcode.MV: "a",
+    Opcode.NOT: "a ^ m",
+    Opcode.NEG: "(-a) & m",
+    Opcode.SEQZ: "1 if a == 0 else 0",
+    Opcode.SNEZ: "1 if a != 0 else 0",
+}
+
+_BRANCH_EXPR = {
+    Opcode.BEQ: "a == b",
+    Opcode.BEQZ: "a == b",
+    Opcode.BNE: "a != b",
+    Opcode.BNEZ: "a != b",
+    Opcode.BLT: "(a ^ sign) < (b ^ sign)",
+    Opcode.BGE: "(a ^ sign) >= (b ^ sign)",
+    Opcode.BLTU: "a < b",
+    Opcode.BGEU: "a >= b",
+}
+
+# -- closure factories (exec-generated families) ------------------------------
+
+_RRR_TEMPLATE = """\
+def _make(rd, rs1, rs2, nxt, m, width, sign, shift_mask):
+    def step(regs, memory, trace, cycle):
+        a = regs[rs1]
+        b = regs[rs2]
+        regs[rd] = {expr}
+        return nxt
+    return step
+"""
+
+_RRI_TEMPLATE = """\
+def _make(rd, rs1, b, nxt, m, width, sign, shift_mask):
+    def step(regs, memory, trace, cycle):
+        a = regs[rs1]
+        regs[rd] = {expr}
+        return nxt
+    return step
+"""
+
+_UNARY_TEMPLATE = """\
+def _make(rd, rs1, nxt, m, width, sign, shift_mask):
+    def step(regs, memory, trace, cycle):
+        a = regs[rs1]
+        regs[rd] = {expr}
+        return nxt
+    return step
+"""
+
+_BRANCH_TEMPLATE = """\
+def _make(rs1, rs2, target, nxt, m, width, sign, shift_mask):
+    def step(regs, memory, trace, cycle):
+        a = regs[rs1]
+        b = regs[rs2]
+        return target if {expr} else nxt
+    return step
+"""
+
+#: Helpers the generated code may call (the rare slow-path opcodes).
+_EXEC_GLOBALS = {"div_signed": _div_signed, "rem_signed": _rem_signed}
+
+
+def _build(template, expr):
+    namespace = dict(_EXEC_GLOBALS)
+    exec(template.format(expr=expr), namespace)  # noqa: S102 - static templates
+    return namespace["_make"]
+
+
+_RRR_MAKERS = {op: _build(_RRR_TEMPLATE, expr)
+               for op, expr in _BINARY_EXPR.items()}
+_RRI_MAKERS = {op: _build(_RRI_TEMPLATE, expr)
+               for op, expr in _BINARY_EXPR.items()}
+_UNARY_MAKERS = {op: _build(_UNARY_TEMPLATE, expr)
+                 for op, expr in _UNARY_EXPR.items()}
+_BRANCH_MAKERS = {op: _build(_BRANCH_TEMPLATE, expr)
+                  for op, expr in _BRANCH_EXPR.items()}
+
+
+# -- closure factories (hand-written singles) ---------------------------------
+
+
+def _make_goto(nxt):
+    """Fall-through-only step: ``nop``, ``j`` and discarded writes."""
+    def step(regs, memory, trace, cycle):
+        return nxt
+    return step
+
+
+def _make_li(rd, value, nxt):
+    def step(regs, memory, trace, cycle):
+        regs[rd] = value
+        return nxt
+    return step
+
+
+def _make_out(rs, nxt):
+    def step(regs, memory, trace, cycle):
+        trace.outputs.append(regs[rs])
+        return nxt
+    return step
+
+
+def _make_ret(rs):
+    if rs is None:
+        def step(regs, memory, trace, cycle):
+            trace.returned = None
+            return None
+    else:
+        def step(regs, memory, trace, cycle):
+            trace.returned = regs[rs]
+            return None
+    return step
+
+
+def _make_load(opcode, rd, rd_name, base, offset, nxt, pp, m, memory_size):
+    # Sign extension of `lb` fills every register bit above bit 7 at the
+    # machine's actual width (a 32-bit constant here would be wrong for
+    # any other width); the final mask keeps sub-byte widths correct.
+    sign_fill = m & ~0xFF
+    if opcode is Opcode.LW:
+        def step(regs, memory, trace, cycle):
+            address = (regs[base] + offset) & m
+            end = address + 4
+            if end > memory_size:
+                raise MachineTrap("load-oob", f"address {address}")
+            value = int.from_bytes(memory[address:end], "little")
+            trace.loads.append((cycle, pp, address, 4, rd_name))
+            if rd:
+                regs[rd] = value & m
+            return nxt
+    elif opcode is Opcode.LB:
+        def step(regs, memory, trace, cycle):
+            address = (regs[base] + offset) & m
+            if address >= memory_size:
+                raise MachineTrap("load-oob", f"address {address}")
+            value = memory[address]
+            if value >= 0x80:
+                value |= sign_fill
+            trace.loads.append((cycle, pp, address, 1, rd_name))
+            if rd:
+                regs[rd] = value & m
+            return nxt
+    elif opcode is Opcode.LBU:
+        def step(regs, memory, trace, cycle):
+            address = (regs[base] + offset) & m
+            if address >= memory_size:
+                raise MachineTrap("load-oob", f"address {address}")
+            value = memory[address]
+            trace.loads.append((cycle, pp, address, 1, rd_name))
+            if rd:
+                regs[rd] = value & m
+            return nxt
+    else:
+        raise SimulationError(f"not a load opcode: {opcode}")
+    return step
+
+
+def _make_store(opcode, src, base, offset, nxt, m, memory_size):
+    if opcode is Opcode.SW:
+        def step(regs, memory, trace, cycle):
+            address = (regs[base] + offset) & m
+            end = address + 4
+            if end > memory_size:
+                raise MachineTrap("store-oob", f"address {address}")
+            value = regs[src]
+            memory[address:end] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            trace.stores.append((address, value, 4))
+            return nxt
+    elif opcode is Opcode.SB:
+        def step(regs, memory, trace, cycle):
+            address = (regs[base] + offset) & m
+            if address >= memory_size:
+                raise MachineTrap("store-oob", f"address {address}")
+            value = regs[src]
+            memory[address] = value & 0xFF
+            trace.stores.append((address, value, 1))
+            return nxt
+    else:
+        raise SimulationError(f"not a store opcode: {opcode}")
+    return step
+
+
+# -- the compiler -------------------------------------------------------------
+
+
+def compile_ops(function, slot, first_pp, memory_size):
+    """Compile *function* into a list of step closures (threaded code).
+
+    ``slot`` maps a register name to its dense index, growing the
+    caller's slot table on first use; slot 0 must be the zero register.
+    ``first_pp`` maps block labels to the program point of their first
+    instruction.  Returns one closure per program point.
+    """
+    width = function.bit_width
+    m = mask(width)
+    sign = 1 << (width - 1)
+    shift_mask = width - 1
+    total = len(function.instructions)
+    ops = []
+    for instruction in function.instructions:
+        pp = instruction.pp
+        opcode = instruction.opcode
+        fmt = instruction.format
+        nxt = pp + 1 if pp + 1 < total else None
+        if fmt is Format.BRANCH:
+            ops.append(_BRANCH_MAKERS[opcode](
+                slot(instruction.rs1), slot(instruction.rs2),
+                first_pp[instruction.label], nxt, m, width, sign,
+                shift_mask))
+        elif fmt is Format.BRANCHZ:
+            # The z-forms compare against slot 0, which always reads 0.
+            ops.append(_BRANCH_MAKERS[opcode](
+                slot(instruction.rs1), 0,
+                first_pp[instruction.label], nxt, m, width, sign,
+                shift_mask))
+        elif fmt is Format.JUMP:
+            ops.append(_make_goto(first_pp[instruction.label]))
+        elif opcode is Opcode.RET:
+            rs = None if instruction.rs1 is None else slot(instruction.rs1)
+            ops.append(_make_ret(rs))
+        elif opcode is Opcode.OUT:
+            ops.append(_make_out(slot(instruction.rs1), nxt))
+        elif opcode is Opcode.LI:
+            rd = slot(instruction.rd)
+            ops.append(_make_li(rd, instruction.imm & m, nxt) if rd
+                       else _make_goto(nxt))
+        elif fmt is Format.RR:
+            rd = slot(instruction.rd)
+            ops.append(_UNARY_MAKERS[opcode](
+                rd, slot(instruction.rs1), nxt, m, width, sign,
+                shift_mask) if rd else _make_goto(nxt))
+        elif fmt is Format.RRR:
+            rd = slot(instruction.rd)
+            ops.append(_RRR_MAKERS[opcode](
+                rd, slot(instruction.rs1), slot(instruction.rs2), nxt,
+                m, width, sign, shift_mask) if rd else _make_goto(nxt))
+        elif fmt is Format.RRI:
+            rd = slot(instruction.rd)
+            ops.append(_RRI_MAKERS[opcode](
+                rd, slot(instruction.rs1), instruction.imm & m, nxt,
+                m, width, sign, shift_mask) if rd else _make_goto(nxt))
+        elif instruction.is_load:
+            ops.append(_make_load(
+                opcode, slot(instruction.rd), instruction.rd,
+                slot(instruction.rs1), instruction.imm, nxt, pp, m,
+                memory_size))
+        elif instruction.is_store:
+            ops.append(_make_store(
+                opcode, slot(instruction.rs2), slot(instruction.rs1),
+                instruction.imm, nxt, m, memory_size))
+        elif opcode is Opcode.NOP:
+            ops.append(_make_goto(nxt))
+        else:
+            raise SimulationError(f"cannot compile {instruction}")
+    return ops

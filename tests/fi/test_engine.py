@@ -163,6 +163,41 @@ class TestEngineParityBenchmarks:
                                           checkpoint_interval=interval))
 
 
+class TestEngineParityAcrossCores:
+    """The engine's bit-identical-aggregates contract must hold across
+    execution cores too: a campaign run on the threaded core (with all
+    engine knobs on) equals the same campaign on the retained reference
+    interpreter."""
+
+    def test_motivating_campaign_identical_across_cores(
+            self, motivating_function, motivating_golden):
+        plan = plan_exhaustive(motivating_function, motivating_golden)
+        reference_machine = Machine(motivating_function, memory_size=256,
+                                    core="reference")
+        fast_machine = Machine(motivating_function, memory_size=256)
+        base = CampaignEngine(reference_machine, plan,
+                              golden=motivating_golden).run()
+        fast = CampaignEngine(fast_machine, plan,
+                              golden=motivating_golden)
+        assert_identical(base, fast.run())
+        assert_identical(base, fast.run(workers=4, checkpoint_interval=8))
+
+    def test_benchmark_campaign_identical_across_cores(self):
+        run = benchmark_run("bitcount")
+        registers = run.function.registers()[::5]
+        plan = strided_exhaustive_plan(run.function, run.golden, 97,
+                                       registers, (0, 13))
+        reference_machine = Machine(run.function, core="reference",
+                                    memory_image=run.machine.memory_image)
+        base = CampaignEngine(reference_machine, plan, regs=run.regs,
+                              golden=run.golden).run()
+        fast = CampaignEngine(run.machine, plan, regs=run.regs,
+                              golden=run.golden)
+        interval = max(1, run.golden.cycles // 16)
+        assert_identical(base, fast.run(workers=4,
+                                        checkpoint_interval=interval))
+
+
 class TestSamplingCheckpointParity:
     def test_estimate_avf_checkpointed_is_identical(self,
                                                     motivating_function,

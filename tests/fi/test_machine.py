@@ -92,6 +92,23 @@ bb.entry:
 """)
         assert trace.returned == 0xFFFFFF80
 
+    @pytest.mark.parametrize("width,expected", [
+        (8, 0x80),          # sign extension within one byte is identity
+        (16, 0xFF80),       # fills bits 8..15, not a hard-coded 32-bit mask
+        (24, 0xFFFF80),
+        (32, 0xFFFFFF80),
+    ])
+    def test_lb_sign_extends_to_machine_width(self, width, expected):
+        trace = run_source(f"""
+func f width={width}
+bb.entry:
+    li a, 0x80
+    sb a, 0(zero)
+    lb b, 0(zero)
+    ret b
+""")
+        assert trace.returned == expected
+
     def test_memory_image_loaded(self):
         trace = run_source("""
 func f width=32
@@ -199,6 +216,15 @@ bb.entry:
         clean = run_source(self.SOURCE)
         assert trace.same_as(clean)           # d never read
 
+    def test_injection_bit_outside_width_rejected(self):
+        # width=4: bit 4 is not a fault site, the plan is buggy.
+        with pytest.raises(SimulationError):
+            run_source(self.SOURCE, injection=Injection(1, "a", 4))
+
+    def test_injection_negative_bit_rejected(self):
+        with pytest.raises(SimulationError):
+            run_source(self.SOURCE, injection=Injection(1, "a", -1))
+
 
 class TestDeterminism:
     def test_runs_are_reproducible(self, motivating_machine):
@@ -206,3 +232,120 @@ class TestDeterminism:
         second = motivating_machine.run()
         assert first.same_as(second)
         assert first.signature() == second.signature()
+
+
+class TestExecutionCores:
+    """The threaded core and the retained reference interpreter must be
+    trace-for-trace interchangeable (the fuzz suite widens this to
+    random programs; here the fixed subjects keep failures readable)."""
+
+    def test_unknown_core_rejected(self, motivating_function):
+        with pytest.raises(SimulationError):
+            Machine(motivating_function, core="jit")
+
+    def test_clean_parity_on_motivating(self, motivating_function):
+        reference = Machine(motivating_function, memory_size=256,
+                            core="reference")
+        fast = Machine(motivating_function, memory_size=256)
+        expected = reference.run()
+        actual = fast.run()
+        assert actual.key() == expected.key()
+        assert actual.cycles == expected.cycles
+        assert actual.loads == expected.loads
+
+    def test_injected_parity_on_motivating(self, motivating_function,
+                                           motivating_golden):
+        reference = Machine(motivating_function, memory_size=256,
+                            core="reference")
+        fast = Machine(motivating_function, memory_size=256)
+        for cycle in (-1, 0, 17, motivating_golden.cycles - 1):
+            for bit in range(motivating_function.bit_width):
+                injection = Injection(cycle, "v", bit)
+                expected = reference.run(injection=injection)
+                actual = fast.run(injection=injection)
+                assert actual.key() == expected.key(), (cycle, bit)
+                assert actual.cycles == expected.cycles
+
+    def test_register_log_matches_reference_core(self, motivating_function):
+        """record_registers runs carry the reference core's per-cycle
+        dictionaries regardless of the machine's configured core."""
+        reference = Machine(motivating_function, memory_size=256,
+                            core="reference")
+        fast = Machine(motivating_function, memory_size=256)
+        expected = reference.run(record_registers=True)
+        actual = fast.run(record_registers=True)
+        assert actual.register_log == expected.register_log
+        assert actual.key() == expected.key()
+
+    def test_snapshot_register_dict(self, motivating_machine):
+        _, snapshots = motivating_machine.run_with_snapshots(interval=8)
+        reference = Machine(motivating_machine.function, memory_size=256,
+                            core="reference")
+        _, reference_snapshots = reference.run_with_snapshots(interval=8)
+        for fast_snapshot, reference_snapshot in zip(snapshots,
+                                                     reference_snapshots):
+            fast_dict = fast_snapshot.register_dict()
+            reference_dict = reference_snapshot.register_dict()
+            # The slot file materializes never-written registers as 0;
+            # the dict file omits them.  Observable values must agree.
+            for reg, value in reference_dict.items():
+                assert fast_dict.get(reg, 0) == value
+            for reg, value in fast_dict.items():
+                assert reference_dict.get(reg, 0) == value
+
+    @pytest.mark.parametrize("budget", [3, 4, 5, 6, 100])
+    def test_budget_boundary_outcomes_match(self, budget):
+        """A run that returns on exactly the last budgeted cycle
+        classifies as a timeout on both cores (the reference core's
+        budget check fires before it notices the return)."""
+        source = """
+func f width=8
+bb.entry:
+    li a, 1
+    li b, 2
+    add c, a, b
+    ret c
+"""
+        function = parse_function(source)
+        expected = Machine(function, memory_size=64,
+                           core="reference").run(max_cycles=budget)
+        actual = Machine(function, memory_size=64).run(max_cycles=budget)
+        assert actual.outcome == expected.outcome, budget
+        assert actual.key() == expected.key(), budget
+        assert actual.cycles == expected.cycles, budget
+
+    def test_foreign_snapshot_restored_by_name(self, motivating_function):
+        """Slot order depends on which injections a machine saw first;
+        restoring another machine's snapshot must remap by register
+        name, never by position."""
+        skewed = Machine(motivating_function, memory_size=256)
+        # Force an off-program register into the lowest non-zero slot.
+        skewed.run(injection=Injection(0, "offprogram", 1))
+        donor = Machine(motivating_function, memory_size=256)
+        golden, snapshots = donor.run_with_snapshots(interval=8)
+        expected = donor.run_from(snapshots[3])
+        resumed = skewed.run_from(snapshots[3])
+        assert resumed.key() == expected.key()
+        assert resumed.key() == golden.key()
+
+    def test_cross_core_snapshot_restore(self, motivating_function,
+                                         motivating_golden):
+        """A snapshot taken by one core can seed the other core's
+        run_from (the register file is converted through the slot
+        mapping)."""
+        reference = Machine(motivating_function, memory_size=256,
+                            core="reference")
+        fast = Machine(motivating_function, memory_size=256)
+        injection = Injection(20, "v", 2)
+        expected = reference.run(injection=injection)
+        _, fast_snapshots = fast.run_with_snapshots(interval=8)
+        _, reference_snapshots = reference.run_with_snapshots(interval=8)
+        from repro.fi.engine import pick_snapshot
+        fast_resumed = fast.run_from(
+            pick_snapshot(reference_snapshots, injection.cycle),
+            injection=injection)
+        reference_resumed = reference.run_from(
+            pick_snapshot(fast_snapshots, injection.cycle),
+            injection=injection)
+        assert fast_resumed.key() == expected.key()
+        assert reference_resumed.key() == expected.key()

@@ -78,7 +78,9 @@ bb.entry:
         with pytest.raises(SimulationError):
             MemoryInjection(0, -4, 0)
 
-    def test_out_of_range_flip_is_ignored(self):
+    def test_out_of_range_flip_is_rejected(self):
+        """A target past the memory is a planning bug, not a masked
+        fault — the machine must fail loudly, not silently no-op."""
         function = parse_function("""
 func f width=32
 bb.entry:
@@ -86,8 +88,12 @@ bb.entry:
     ret r
 """)
         machine = Machine(function, memory_size=64)
-        trace = machine.run(injection=MemoryInjection(-1, 4096, 0))
-        assert trace.returned == 1
+        with pytest.raises(SimulationError):
+            machine.run(injection=MemoryInjection(-1, 4096, 0))
+        # The last byte is in range; the word straddling it is not.
+        with pytest.raises(SimulationError):
+            machine.run(injection=MemoryInjection(-1, 63, 8))
+        machine.run(injection=MemoryInjection(-1, 63, 7))
 
 
 PROGRAM = """

@@ -1,0 +1,167 @@
+"""Differential fuzzing of the threaded execution core.
+
+The threaded core (slot-indexed registers, pre-specialized instruction
+closures) must be *trace-for-trace* identical to the retained reference
+interpreter — same executed path, side effects, loads, outcome and
+cycle count — on arbitrary programs, clean and faulted.  Random
+programs from :mod:`repro.ir.randgen` exercise every opcode family;
+injections corrupt address and counter registers, so the trap and
+timeout paths are covered as well.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.engine import pick_snapshot
+from repro.fi.machine import Injection, Machine, MemoryInjection
+from repro.ir.randgen import GeneratorConfig, generate_function, random_inputs
+
+_CFG = GeneratorConfig(width=8, registers=5, params=2, structures=3,
+                       max_ops=4)
+_WIDE = GeneratorConfig(width=32, registers=6, params=2, structures=3,
+                        max_ops=5)
+_MAX_CYCLES = 50_000
+_MEMORY_SIZE = 4096
+
+
+def _machines(function):
+    reference = Machine(function, memory_size=_MEMORY_SIZE,
+                        core="reference")
+    fast = Machine(function, memory_size=_MEMORY_SIZE)
+    return reference, fast
+
+
+def assert_traces_identical(expected, actual, context):
+    assert actual.executed == expected.executed, context
+    assert actual.outputs == expected.outputs, context
+    assert actual.stores == expected.stores, context
+    assert actual.loads == expected.loads, context
+    assert actual.returned == expected.returned, context
+    assert actual.outcome == expected.outcome, context
+    assert actual.trap_kind == expected.trap_kind, context
+    assert actual.cycles == expected.cycles, context
+    assert actual.signature() == expected.signature(), context
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_clean_runs_identical(seed):
+    for config in (_CFG, _WIDE):
+        function = generate_function(seed, config)
+        reference, fast = _machines(function)
+        regs = random_inputs(seed, function)
+        expected = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+        actual = fast.run(regs=regs, max_cycles=_MAX_CYCLES)
+        assert_traces_identical(expected, actual, (seed, config.width))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_tight_budget_outcomes_identical(seed):
+    """Timeout classification at and around the exact budget boundary
+    (including a `ret` on the last budgeted cycle) must match."""
+    function = generate_function(seed, _CFG)
+    reference, fast = _machines(function)
+    regs = random_inputs(seed, function)
+    golden = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    budgets = {max(1, golden.cycles - 1), golden.cycles,
+               golden.cycles + 1, max(1, golden.cycles // 2)}
+    for budget in sorted(budgets):
+        expected = reference.run(regs=regs, max_cycles=budget)
+        actual = fast.run(regs=regs, max_cycles=budget)
+        assert_traces_identical(expected, actual, (seed, budget))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_register_injection_runs_identical(seed):
+    function = generate_function(seed, _CFG)
+    reference, fast = _machines(function)
+    regs = random_inputs(seed, function)
+    golden = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    registers = function.registers()
+    width = function.bit_width
+    rng = random.Random(seed ^ 0xD1FF)
+    for trial in range(8):
+        injection = Injection(rng.randrange(-1, golden.cycles),
+                              rng.choice(registers),
+                              rng.randrange(width))
+        expected = reference.run(regs=regs, injection=injection,
+                                 max_cycles=_MAX_CYCLES)
+        actual = fast.run(regs=regs, injection=injection,
+                          max_cycles=_MAX_CYCLES)
+        assert_traces_identical(expected, actual, (seed, injection))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_memory_injection_runs_identical(seed):
+    function = generate_function(seed, _CFG)
+    reference, fast = _machines(function)
+    regs = random_inputs(seed, function)
+    golden = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    rng = random.Random(seed ^ 0x3E37)
+    for trial in range(6):
+        injection = MemoryInjection(rng.randrange(-1, golden.cycles),
+                                    rng.randrange(_MEMORY_SIZE - 8),
+                                    rng.randrange(32))
+        expected = reference.run(regs=regs, injection=injection,
+                                 max_cycles=_MAX_CYCLES)
+        actual = fast.run(regs=regs, injection=injection,
+                          max_cycles=_MAX_CYCLES)
+        assert_traces_identical(expected, actual, (seed, injection))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_multi_event_upsets_identical(seed):
+    """Double-bit flips (paper §I's beyond-EDAC case) through both
+    cores, mixing register and memory upsets in one run."""
+    function = generate_function(seed, _CFG)
+    reference, fast = _machines(function)
+    regs = random_inputs(seed, function)
+    golden = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    registers = function.registers()
+    rng = random.Random(seed ^ 0xABCD)
+    injection = [
+        Injection(rng.randrange(-1, golden.cycles),
+                  rng.choice(registers),
+                  rng.randrange(function.bit_width)),
+        MemoryInjection(rng.randrange(-1, golden.cycles),
+                        rng.randrange(_MEMORY_SIZE - 8),
+                        rng.randrange(32)),
+    ]
+    expected = reference.run(regs=regs, injection=injection,
+                             max_cycles=_MAX_CYCLES)
+    actual = fast.run(regs=regs, injection=injection,
+                      max_cycles=_MAX_CYCLES)
+    assert_traces_identical(expected, actual, (seed, injection))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_snapshot_resume_identical_across_cores(seed):
+    """Each core's checkpoint/resume must agree with the other core's
+    full run — the property the campaign engine's snapshots rely on."""
+    function = generate_function(seed, _CFG)
+    reference, fast = _machines(function)
+    regs = random_inputs(seed, function)
+    golden, snapshots = fast.run_with_snapshots(regs=regs, interval=16,
+                                                max_cycles=_MAX_CYCLES)
+    reference_golden = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    assert_traces_identical(reference_golden, golden, seed)
+    registers = function.registers()
+    rng = random.Random(seed ^ 0x5A5A)
+    for trial in range(4):
+        injection = Injection(rng.randrange(0, golden.cycles),
+                              rng.choice(registers),
+                              rng.randrange(function.bit_width))
+        snapshot = pick_snapshot(snapshots, injection.cycle)
+        assert snapshot is not None
+        expected = reference.run(regs=regs, injection=injection,
+                                 max_cycles=_MAX_CYCLES)
+        resumed = fast.run_from(snapshot, injection=injection,
+                                max_cycles=_MAX_CYCLES,
+                                converge=snapshots)
+        assert_traces_identical(expected, resumed, (seed, injection))
