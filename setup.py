@@ -13,8 +13,9 @@ setup(
     description=("Reproduction of 'BEC: Bit-Level Static Analysis for "
                  "Reliability against Soft Errors' (Ko & Burgstaller, "
                  "CGO 2024): bit-level liveness/equivalence analysis, "
-                 "an ISA-level fault-injection simulator and a "
-                 "checkpointed, parallel campaign engine"),
+                 "an ISA-level fault-injection simulator, a "
+                 "checkpointed, parallel campaign engine and "
+                 "BEC-guided selective software redundancy"),
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",

@@ -6,6 +6,9 @@ Usage (``python -m repro <command> ...``)::
     run      FILE.{mc,ir} [--args N ...]       simulate, print outputs
     analyze  FILE.{mc,ir} [--extended]         BEC report per window
     campaign FILE.{mc,ir} [--mode bec|ior|exhaustive] [--execute N]
+             [--harden none|full|bec] [--budget F] [--core ...]
+    harden   FILE.{mc,ir} [--strategy none|full|bec] [--budget F]
+                                               selective redundancy -> IR
     validate FILE.{mc,ir} [--cycles N]         paper §V soundness check
     schedule FILE.{mc,ir} [--policy best|worst|original|...]
     sample   FILE.{mc,ir} [--budget N] [--bec] statistical AVF estimate
@@ -14,7 +17,10 @@ Usage (``python -m repro <command> ...``)::
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
-entry function's parameter registers.
+entry function's parameter registers.  ``run``, ``analyze``,
+``campaign``, ``sample`` and ``harden`` accept the same ``-O{0,1,2}`` /
+``--no-opt`` optimization knobs as ``compile``, so analyses and
+campaigns can run at a matching optimization level.
 """
 
 import argparse
@@ -69,9 +75,14 @@ def _initial_regs(program, args):
     return dict(zip(program.param_regs, args))
 
 
-def _golden(program, args):
+def _opt_level(options):
+    """Optimization level from the shared ``-O``/``--no-opt`` options."""
+    return 0 if getattr(options, "no_opt", False) else options.level
+
+
+def _golden(program, args, core="threaded"):
     machine = Machine(program.function,
-                      memory_image=program.memory_image)
+                      memory_image=program.memory_image, core=core)
     trace = machine.run(regs=_initial_regs(program, args))
     if trace.outcome != "ok":
         raise SystemExit(f"golden run failed: {trace.outcome} "
@@ -80,8 +91,7 @@ def _golden(program, args):
 
 
 def cmd_compile(options):
-    level = 0 if options.no_opt else options.level
-    program = load_program(options.file, optimize=level)
+    program = load_program(options.file, optimize=_opt_level(options))
     text = format_function(program.function)
     if options.output:
         with open(options.output, "w") as handle:
@@ -94,7 +104,7 @@ def cmd_compile(options):
 
 
 def cmd_run(options):
-    program = load_program(options.file)
+    program = load_program(options.file, optimize=_opt_level(options))
     _, trace = _golden(program, options.args)
     for value in trace.outputs:
         print(f"out: {value} ({value:#x})")
@@ -104,7 +114,7 @@ def cmd_run(options):
 
 
 def cmd_analyze(options):
-    program = load_program(options.file)
+    program = load_program(options.file, optimize=_opt_level(options))
     rules = RuleSet(extended=options.extended)
     bec = run_bec(program.function, rules=rules)
     summary = bec.summary()
@@ -128,8 +138,23 @@ def cmd_campaign(options):
         raise SystemExit("--workers must be >= 1")
     if options.checkpoint_interval < 0:
         raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
-    program = load_program(options.file)
-    machine, golden = _golden(program, options.args)
+    program = load_program(options.file, optimize=_opt_level(options))
+    machine, golden = _golden(program, options.args, core=options.core)
+    if options.harden != "none":
+        from repro.harden import harden
+
+        result = harden(program.function, options.harden,
+                        budget=options.budget, golden=golden)
+        original_cycles = golden.cycles
+        program = LoadedProgram(result.function, program.memory_image,
+                                program.param_regs)
+        machine, golden = _golden(program, options.args,
+                                  core=options.core)
+        print(f"hardened ({options.harden}): "
+              f"{len(result.protected)} protected instructions, "
+              f"{result.n_check} checkers, "
+              f"overhead {golden.cycles / original_cycles - 1:+.1%} "
+              f"({original_cycles} -> {golden.cycles} cycles)")
     bec = run_bec(program.function)
     if options.mode == "bec":
         plan = plan_bec(program.function, golden, bec)
@@ -138,7 +163,7 @@ def cmd_campaign(options):
     else:
         plan = plan_exhaustive(program.function, golden)
     accounting = fault_injection_accounting(program.function, golden, bec)
-    print(f"golden trace: {golden.cycles} cycles")
+    print(f"golden trace: {golden.cycles} cycles ({options.core} core)")
     print(f"plan ({options.mode}): {len(plan)} fault-injection runs")
     print(f"accounting: {accounting}")
     if options.execute:
@@ -196,10 +221,53 @@ POLICIES = {
 }
 
 
+def cmd_harden(options):
+    program = load_program(options.file, optimize=_opt_level(options))
+    from repro.harden import harden
+    from repro.harden.select import eligible_pps
+
+    _, golden = _golden(program, options.args)
+    result = harden(program.function, options.strategy,
+                    budget=options.budget, golden=golden)
+    hardened_program = LoadedProgram(result.function,
+                                     program.memory_image,
+                                     program.param_regs)
+    _, hardened_golden = _golden(hardened_program, options.args)
+    if result.projected_path(hardened_golden) != golden.executed:
+        raise SystemExit("internal error: hardened run does not project "
+                         "onto the original golden path")
+    overhead = hardened_golden.cycles / golden.cycles - 1 \
+        if golden.cycles else 0.0
+    print(f"strategy {options.strategy}: "
+          f"{len(result.protected)}/{len(eligible_pps(program.function))} "
+          f"instructions protected", file=sys.stderr)
+    print(f"inserted: {result.n_shadow} shadow instructions, "
+          f"{result.n_check} checkers, {result.n_init} parameter inits",
+          file=sys.stderr)
+    print(f"dynamic overhead: {overhead:+.1%} "
+          f"({golden.cycles} -> {hardened_golden.cycles} cycles, "
+          f"predicted {result.predicted_overhead(golden):+.1%})",
+          file=sys.stderr)
+    if program.memory_image:
+        print("note: textual IR carries no memory image; campaigns on "
+              "the written file will start from zeroed memory (use "
+              "`repro campaign --harden` to keep the data segment)",
+              file=sys.stderr)
+    text = format_function(result.function)
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {options.output} "
+              f"({len(result.function.instructions)} instructions)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_sample(options):
     if options.checkpoint_interval < 0:
         raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
-    program = load_program(options.file)
+    program = load_program(options.file, optimize=_opt_level(options))
     machine, golden = _golden(program, options.args)
     bec = run_bec(program.function) if options.bec else None
     estimate = estimate_avf(machine, program.function, golden,
@@ -329,19 +397,25 @@ def build_parser():
         sub.add_argument("file", help="program (.mc mini-C or .ir IR)")
         return sub
 
+    def add_opt_arguments(sub):
+        sub.add_argument("-O", dest="level", type=int, choices=(0, 1, 2),
+                         default=1,
+                         help="optimization level for .mc input "
+                              "(default 1: copyprop+DCE)")
+        sub.add_argument("--no-opt", action="store_true",
+                         help="alias for -O0")
+
     sub = add("compile", cmd_compile, help="compile mini-C to IR")
     sub.add_argument("-o", "--output")
-    sub.add_argument("-O", dest="level", type=int, choices=(0, 1, 2),
-                     default=1,
-                     help="optimization level (default 1: copyprop+DCE)")
-    sub.add_argument("--no-opt", action="store_true",
-                     help="alias for -O0")
+    add_opt_arguments(sub)
 
     sub = add("run", cmd_run, help="simulate a program")
+    add_opt_arguments(sub)
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
     sub = add("analyze", cmd_analyze, help="run the BEC analysis")
+    add_opt_arguments(sub)
     sub.add_argument("--extended", action="store_true",
                      help="enable the extended (sound) rule set")
     sub.add_argument("--windows", action="store_true",
@@ -349,8 +423,21 @@ def build_parser():
 
     sub = add("campaign", cmd_campaign,
               help="plan (and optionally execute) an FI campaign")
+    add_opt_arguments(sub)
     sub.add_argument("--mode", choices=("bec", "ior", "exhaustive"),
                      default="bec")
+    sub.add_argument("--harden", choices=("none", "full", "bec"),
+                     default="none",
+                     help="apply selective software redundancy before "
+                          "planning (the campaign then runs against the "
+                          "hardened binary and reports 'detected' runs)")
+    sub.add_argument("--budget", type=float, default=0.3,
+                     help="dynamic instruction overhead budget for "
+                          "--harden bec (0.3 = at most 30%% extra)")
+    sub.add_argument("--core", choices=("threaded", "reference"),
+                     default="threaded",
+                     help="execution core (results are bit-identical; "
+                          "'reference' is the differential oracle)")
     sub.add_argument("--execute", type=int, default=0,
                      help="execute the first N planned runs")
     sub.add_argument("--workers", type=int, default=1,
@@ -382,8 +469,21 @@ def build_parser():
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
+    sub = add("harden", cmd_harden,
+              help="selective software redundancy (emits hardened IR)")
+    add_opt_arguments(sub)
+    sub.add_argument("--strategy", choices=("none", "full", "bec"),
+                     default="bec")
+    sub.add_argument("--budget", type=float, default=0.3,
+                     help="dynamic instruction overhead budget for "
+                          "--strategy bec (0.3 = at most 30%% extra)")
+    sub.add_argument("-o", "--output")
+    sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
+                     default=[])
+
     sub = add("sample", cmd_sample,
               help="statistical AVF estimate by random fault sampling")
+    add_opt_arguments(sub)
     sub.add_argument("--budget", type=int, default=500)
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--confidence", type=float, default=0.95)

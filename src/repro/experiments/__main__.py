@@ -13,7 +13,7 @@ import sys
 import time
 
 from repro.experiments import (fig2, fig4, markdown, policy_comparison,
-                               table1, table2, table3, table4)
+                               protection, table1, table2, table3, table4)
 
 EXPERIMENTS = {
     "fig2": fig2,
@@ -23,11 +23,12 @@ EXPERIMENTS = {
     "table3": table3,
     "table4": table4,
     "policy-comparison": policy_comparison,
+    "protection": protection,
 }
 
 
 DEFAULT_ORDER = ["fig2", "fig4", "table3", "table4", "table1", "table2",
-                 "policy-comparison"]
+                 "policy-comparison", "protection"]
 
 
 def main(argv=None):

@@ -77,6 +77,21 @@ policy on most benchmarks and always beats the adversarial worst; on
 AES the greedy bit-level policy is slightly worse than value-level
 (greedy kill-count scheduling is not optimal — the paper's claim is
 comparability, not dominance, and that is what we observe).""",
+    "protection": """\
+Extension (closing the paper's loop): BEC-guided selective redundancy
+(`repro.harden`) versus full SWIFT-style duplication, same fault plan
+replayed per variant.  Full duplication converts essentially every
+baseline SDC into a detected-fault trap at 80-100 % dynamic overhead.
+Selective hardening's coverage grows roughly in proportion to the
+overhead budget — a fault is only caught if a checker observes a
+shadow that diverged, so every covered window costs about one extra
+dynamic instruction — with a concave edge from spending the budget on
+the most vulnerable, best-connected windows first.  The 90 %-of-full
+coverage point lands at budgets 0.60-0.85 — materially below full
+duplication's 80-100 % overhead for the control/memory-bound kernels
+(CRC32 and RSA reach it at 0.60) — while the diffusion-heavy crypto
+kernels (AES, SHA) need near-full duplication before their corruption
+chains are covered, the same shape the SWIFT literature reports.""",
 }
 
 

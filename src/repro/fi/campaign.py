@@ -19,16 +19,23 @@ from collections import namedtuple
 from repro.ir.liveness import compute_liveness
 from repro.fi.accounting import iter_bit_instances
 from repro.fi.machine import Injection, Machine
-from repro.fi.trace import OUTCOME_OK
+from repro.fi.trace import OUTCOME_OK, OUTCOME_TRAP, TRAP_DETECTED
 
 PlannedRun = namedtuple("PlannedRun", ["injection", "pp", "rep", "epoch"])
 
 #: Classification of one fault-injection run against the golden trace.
 EFFECT_MASKED = "masked"          # identical trace
 EFFECT_SDC = "sdc"                # silent data corruption (wrong output)
+EFFECT_DETECTED = "detected"      # a hardening checker trapped the fault
 EFFECT_TRAP = "trap"              # run trapped
 EFFECT_TIMEOUT = "timeout"        # run did not terminate in budget
 EFFECT_BENIGN = "benign-divergence"  # same outputs, different path
+
+#: Every effect class, in reporting order.  ``effect_counts()`` returns
+#: all of them (zero-defaulted) so reporting code can index any class
+#: without guarding against missing keys.
+EFFECT_CLASSES = (EFFECT_MASKED, EFFECT_SDC, EFFECT_DETECTED, EFFECT_TRAP,
+                  EFFECT_TIMEOUT, EFFECT_BENIGN)
 
 
 def plan_exhaustive(function, trace, registers=None):
@@ -93,7 +100,9 @@ class CampaignResult:
         return sum(self._distinct.values())
 
     def effect_counts(self):
-        counts = {}
+        """Per-class run counts; every class of :data:`EFFECT_CLASSES`
+        is present (zero when no run landed in it)."""
+        counts = dict.fromkeys(EFFECT_CLASSES, 0)
         for _, effect, _ in self.runs:
             counts[effect] = counts.get(effect, 0) + 1
         return counts
@@ -109,7 +118,11 @@ def classify_effect(golden, injected):
     if injected.same_as(golden):
         return EFFECT_MASKED
     if injected.outcome != OUTCOME_OK:
-        return EFFECT_TRAP if injected.outcome == "trap" else EFFECT_TIMEOUT
+        if injected.outcome == OUTCOME_TRAP:
+            if injected.trap_kind == TRAP_DETECTED:
+                return EFFECT_DETECTED
+            return EFFECT_TRAP
+        return EFFECT_TIMEOUT
     if injected.architectural_key() == golden.architectural_key():
         return EFFECT_BENIGN
     return EFFECT_SDC

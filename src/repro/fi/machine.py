@@ -29,7 +29,8 @@ and the threaded core inlines those semantics at decode time.
 
 from repro.errors import MachineTrap, SimulationError
 from repro.fi import threaded
-from repro.fi.trace import OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP, Trace
+from repro.fi.trace import (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP,
+                            TRAP_DETECTED, Trace)
 from repro.ir.concrete import alu, branch_taken, mask, unary
 from repro.ir.instructions import Format, Opcode
 from repro.ir.registers import ZERO
@@ -281,6 +282,9 @@ class Machine:
                 program.append(("ret", instruction.rs1))
             elif opcode is Opcode.OUT:
                 program.append(("out", instruction.rs1, next_pp))
+            elif opcode is Opcode.CHECK:
+                program.append(("check", instruction.rs1,
+                                instruction.rs2, next_pp))
             elif opcode is Opcode.LI:
                 program.append(("li", instruction.rd,
                                 instruction.imm & mask(self.width), next_pp))
@@ -743,6 +747,12 @@ class Machine:
                 elif kind == "out":
                     _, rs, next_pp = decoded
                     outputs.append(read(rs))
+                    pc = next_pp
+                elif kind == "check":
+                    _, rs1, rs2, next_pp = decoded
+                    if read(rs1) != read(rs2):
+                        raise MachineTrap(TRAP_DETECTED,
+                                          f"{rs1} != {rs2}")
                     pc = next_pp
                 elif kind == "ret":
                     rs = decoded[1]

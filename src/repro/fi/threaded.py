@@ -34,6 +34,7 @@ interpreter — is enforced by the differential fuzz suite in
 """
 
 from repro.errors import MachineTrap, SimulationError
+from repro.fi.trace import TRAP_DETECTED
 from repro.ir.concrete import _div_signed, _rem_signed, mask
 from repro.ir.instructions import Format, Opcode
 
@@ -177,6 +178,14 @@ def _make_out(rs, nxt):
     return step
 
 
+def _make_check(rs1, rs2, rs1_name, rs2_name, nxt):
+    def step(regs, memory, trace, cycle):
+        if regs[rs1] != regs[rs2]:
+            raise MachineTrap(TRAP_DETECTED, f"{rs1_name} != {rs2_name}")
+        return nxt
+    return step
+
+
 def _make_ret(rs):
     if rs is None:
         def step(regs, memory, trace, cycle):
@@ -297,6 +306,10 @@ def compile_ops(function, slot, first_pp, memory_size):
             ops.append(_make_ret(rs))
         elif opcode is Opcode.OUT:
             ops.append(_make_out(slot(instruction.rs1), nxt))
+        elif opcode is Opcode.CHECK:
+            ops.append(_make_check(slot(instruction.rs1),
+                                   slot(instruction.rs2),
+                                   instruction.rs1, instruction.rs2, nxt))
         elif opcode is Opcode.LI:
             rd = slot(instruction.rd)
             ops.append(_make_li(rd, instruction.imm & m, nxt) if rd

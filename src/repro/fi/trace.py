@@ -19,6 +19,12 @@ OUTCOME_OK = "ok"
 OUTCOME_TRAP = "trap"
 OUTCOME_TIMEOUT = "timeout"
 
+#: Trap kind raised by the ``check`` instruction of hardened programs:
+#: the run terminated because software redundancy *detected* a fault
+#: (:mod:`repro.harden`).  Campaign classification maps this trap kind
+#: to its own effect class instead of the generic ``trap``.
+TRAP_DETECTED = "detected-fault"
+
 
 class Trace:
     """Record of one (possibly fault-injected) program execution."""

@@ -1,0 +1,70 @@
+"""Selective software redundancy (SWIFT-style hardening).
+
+The rest of the repository *measures* vulnerability against soft errors;
+this package *reduces* it.  :func:`harden` rewrites a function so that
+selected instructions are duplicated into shadow registers and
+comparison checkers at synchronization points (stores, branches,
+returns, outputs) trap with kind ``detected-fault`` when the two copies
+disagree — converting would-be silent data corruptions into *detected*
+faults a system can recover from.
+
+Three protection strategies:
+
+``none``
+    No protection (the baseline; the transform is the identity).
+``full``
+    Every eligible value-producing instruction is duplicated — the
+    classic SWIFT sphere of replication, maximum detection at roughly
+    2x dynamic instruction overhead.
+``bec``
+    Selective protection guided by the BEC analysis: each candidate
+    window is scored by its dynamic unmasked-bit vulnerability (the
+    same per-window quantity behind :mod:`repro.sched.vulnerability`)
+    and windows are protected greedily under a user-set dynamic
+    instruction overhead budget (``budget=0.3`` means at most 30 %
+    extra dynamic instructions).
+
+The transform machinery lives in :mod:`repro.harden.transform`, the
+budget selection in :mod:`repro.harden.select` and the end-to-end
+fault-injection evaluation harness in :mod:`repro.harden.evaluate`.
+"""
+
+from repro.errors import AnalysisError
+from repro.harden.select import eligible_pps, select_bec
+from repro.harden.transform import HardenResult, harden_function
+
+#: Protection strategies understood by :func:`harden` and the CLI.
+STRATEGIES = ("none", "full", "bec")
+
+
+def harden(function, strategy="bec", budget=0.3, golden=None, bec=None):
+    """Harden *function* with the given *strategy*; returns a
+    :class:`HardenResult`.
+
+    ``bec`` needs the original function's *golden* trace (dynamic
+    execution counts drive both the vulnerability score and the
+    overhead budget); the BEC analysis is computed on demand when not
+    supplied.  ``none`` and ``full`` need neither.
+    """
+    if strategy == "none":
+        protected = frozenset()
+    elif strategy == "full":
+        protected = frozenset(eligible_pps(function))
+    elif strategy == "bec":
+        if golden is None:
+            raise AnalysisError(
+                "strategy 'bec' needs the golden trace of the original "
+                "function (dynamic counts drive selection)")
+        if bec is None:
+            from repro.bec.analysis import run_bec
+            bec = run_bec(function)
+        protected = select_bec(function, golden, bec, budget=budget)
+    else:
+        raise AnalysisError(
+            f"unknown hardening strategy {strategy!r}; "
+            f"choose from {STRATEGIES}")
+    return harden_function(function, protected)
+
+
+__all__ = ["STRATEGIES", "HardenResult", "harden", "harden_function",
+           "eligible_pps", "select_bec"]

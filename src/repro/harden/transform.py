@@ -1,0 +1,366 @@
+"""The IR-to-IR hardening transform (duplication + checkers).
+
+Given a set of *protected* program points (value-producing
+instructions), :func:`harden_function` rewrites the function so that
+
+* every protected instruction is preceded by a **shadow copy** that
+  computes the same value into a shadow register, reading shadow
+  operands where a valid shadow exists and the original registers
+  elsewhere.  The shadow runs *before* the original so in-place updates
+  (``add t0, t0, t1``) still see the pre-instruction operand values;
+* every **synchronization point** — stores, conditional branches,
+  returns and ``out`` instructions — is preceded by one ``check``
+  instruction per operand register with a valid shadow.  A ``check``
+  traps with kind ``detected-fault`` when original and shadow disagree,
+  which campaign classification reports as the ``detected`` effect;
+* the **entry block** starts with one ``mv shadow, param`` per function
+  parameter (when anything is protected at all), so parameter registers
+  participate in detection from cycle 0.
+
+**Shadow validity.**  A register's shadow is only meaningful where
+*every* reaching definition of the register was duplicated; a
+definition that is not protected leaves the shadow stale, and a checker
+comparing against a stale shadow would trap on fault-free runs.  The
+transform therefore runs a forward must-dataflow ("all reaching defs
+duplicated") over the CFG and consults it both when picking shadow
+operands and when placing checkers.  On a fault-free run the hardened
+program is therefore *architecturally identical* to the original: same
+outputs, same stores, same return value, same control-flow decisions.
+
+The returned :class:`HardenResult` carries an ``origin`` map (hardened
+program point -> original program point, ``None`` for inserted
+instructions), from which :meth:`HardenResult.cycle_map` derives the
+dynamic correspondence used to replay an original-program fault plan
+against the hardened binary — the apples-to-apples comparison behind
+``experiments/protection.py`` and ``benchmarks/bench_harden.py``.
+"""
+
+from collections import Counter
+
+from repro.errors import AnalysisError
+from repro.fi.machine import Injection, MemoryInjection
+from repro.ir.function import Function
+from repro.ir.instructions import (CONDITIONAL_BRANCHES, Format, Opcode,
+                                   STORES, check, mv)
+from repro.ir.registers import ZERO
+
+#: Formats of instructions that produce a register value and are hence
+#: eligible for duplication.
+ELIGIBLE_FORMATS = frozenset({Format.RRR, Format.RRI, Format.RR,
+                              Format.RI, Format.LOAD})
+
+#: Opcodes whose operand reads are synchronization points: corrupted
+#: state becomes observable (or decides control flow) here, so checkers
+#: go immediately before them.
+SYNC_OPCODES = frozenset(STORES | CONDITIONAL_BRANCHES
+                         | {Opcode.RET, Opcode.OUT})
+
+
+def is_eligible(instruction):
+    """True when *instruction* can be duplicated into a shadow."""
+    return (instruction.format in ELIGIBLE_FORMATS
+            and instruction.rd != ZERO)
+
+
+def is_sync_point(instruction):
+    """True when checkers must be placed before *instruction*."""
+    return instruction.opcode in SYNC_OPCODES and instruction.data_reads()
+
+
+def shadow_prefix(function):
+    """A register-name prefix guaranteed not to collide with any
+    register the function already names."""
+    registers = set(function.registers())
+    candidates = ["dup_"] + [f"dup{index}_" for index in range(1, 1000)]
+    for candidate in candidates:
+        if not any(reg.startswith(candidate) for reg in registers):
+            return candidate
+    raise AnalysisError("could not find a collision-free shadow prefix")
+
+
+def shadow_validity(function, protected, with_inits):
+    """Forward must-analysis: per block, the set of registers whose
+    shadow is valid on entry (every reaching definition duplicated).
+
+    ``with_inits`` models the entry-block parameter shadow copies.
+    Returns ``{block label: set of registers}`` (state on block entry,
+    *before* the entry inits run — the per-instruction walk in the
+    transform re-applies them).
+    """
+    all_regs = frozenset(function.registers())
+    entry = function.entry
+
+    def transfer(block, valid):
+        valid = set(valid)
+        if with_inits and block is entry:
+            valid |= set(function.params)
+        for instruction in block.instructions:
+            if instruction.pp in protected:
+                valid.add(instruction.rd)
+            else:
+                for reg in instruction.data_writes():
+                    valid.discard(reg)
+        return valid
+
+    in_map = {}
+    out_map = {block.label: set(all_regs) for block in function.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            if block is entry:
+                # The function-start edge carries no valid shadows, so
+                # the entry meet is empty even when loops re-enter it.
+                in_state = set()
+            elif block.preds:
+                in_state = set(all_regs)
+                for pred in block.preds:
+                    in_state &= out_map[pred.label]
+            else:
+                in_state = set()
+            in_map[block.label] = in_state
+            out_state = transfer(block, in_state)
+            if out_state != out_map[block.label]:
+                out_map[block.label] = out_state
+                changed = True
+    return in_map
+
+
+class HardenResult:
+    """A hardened function plus everything needed to evaluate it.
+
+    Attributes
+    ----------
+    function:
+        The hardened, finalized function.
+    original:
+        The function the transform ran on.
+    protected:
+        Frozenset of original program points that were duplicated.
+    shadow_of:
+        ``{register: shadow register}`` for every duplicated register.
+    origin:
+        List indexed by hardened program point; entry is the original
+        program point the instruction was copied from, or ``None`` for
+        inserted instructions (shadows, checks, entry inits).
+    attached_to:
+        For every *inserted* hardened program point, the original
+        program point whose dynamic execution count it inherits (its
+        protected instruction, its sync point, or the first original
+        entry instruction for parameter inits) — the basis of the exact
+        static overhead prediction.
+    """
+
+    __slots__ = ("function", "original", "protected", "shadow_of",
+                 "origin", "attached_to", "n_shadow", "n_check", "n_init")
+
+    def __init__(self, function, original, protected, shadow_of, origin,
+                 attached_to, n_shadow, n_check, n_init):
+        self.function = function
+        self.original = original
+        self.protected = protected
+        self.shadow_of = shadow_of
+        self.origin = origin
+        self.attached_to = attached_to
+        self.n_shadow = n_shadow
+        self.n_check = n_check
+        self.n_init = n_init
+
+    # -- overhead ---------------------------------------------------------------
+
+    def predicted_extra_cycles(self, original_golden):
+        """Exact extra dynamic instructions of a fault-free hardened run.
+
+        Every inserted instruction executes exactly when the original
+        instruction it is attached to does, so the prediction is a sum
+        of golden-trace execution counts (asserted equal to the measured
+        hardened golden run in ``tests/harden/``).
+        """
+        counts = Counter(original_golden.executed)
+        return sum(counts.get(attached, 0)
+                   for attached in self.attached_to.values())
+
+    def predicted_overhead(self, original_golden):
+        """Predicted dynamic instruction overhead as a ratio (0.3 means
+        30 % more dynamic instructions than the original golden run)."""
+        if not original_golden.cycles:
+            return 0.0
+        return self.predicted_extra_cycles(original_golden) \
+            / original_golden.cycles
+
+    # -- fault-plan replay -------------------------------------------------------
+
+    def cycle_map(self, hardened_golden):
+        """Per-cycle correspondence original -> hardened golden trace.
+
+        Returns a list ``m`` with ``m[c]`` the hardened-trace cycle of
+        the instruction that the original program executed at cycle
+        ``c``.  Derived by projecting the hardened golden run through
+        :attr:`origin`; the projection is asserted against the original
+        golden trace by the callers that have it.
+        """
+        origin = self.origin
+        return [cycle for cycle, pp in enumerate(hardened_golden.executed)
+                if origin[pp] is not None]
+
+    def projected_path(self, hardened_trace):
+        """The hardened trace's executed path with inserted instructions
+        dropped and the survivors translated to original program points
+        (equals the original golden path on fault-free runs)."""
+        origin = self.origin
+        return [origin[pp] for pp in hardened_trace.executed
+                if origin[pp] is not None]
+
+    def map_upset(self, upset, cycle_map):
+        """Translate one original-program upset to the hardened run.
+
+        ``cycle=c`` flips right after the instruction at trace position
+        ``c`` completes; the equivalent hardened flip happens right
+        after the *copy* of that instruction completes, i.e. inside the
+        window where the hardened program's checkers can still observe
+        it.  Pre-execution upsets (``cycle=-1``) stay at -1.
+        """
+        cycle = upset.cycle if upset.cycle < 0 else cycle_map[upset.cycle]
+        if isinstance(upset, MemoryInjection):
+            return MemoryInjection(cycle, upset.address, upset.bit)
+        return Injection(cycle, upset.reg, upset.bit)
+
+    def map_plan(self, plan, hardened_golden):
+        """Translate a plan of :class:`~repro.fi.campaign.PlannedRun`
+        entries made against the original program."""
+        cycle_map = self.cycle_map(hardened_golden)
+        return [planned._replace(
+                    injection=self.map_upset(planned.injection, cycle_map))
+                for planned in plan]
+
+    def __repr__(self):
+        return (f"<HardenResult {self.function.name} "
+                f"protected={len(self.protected)} shadows={self.n_shadow} "
+                f"checks={self.n_check}>")
+
+
+def _shadow_source(reg, valid, shadow_of):
+    return shadow_of[reg] if reg != ZERO and reg in valid else reg
+
+
+def _shadow_instruction(instruction, valid, shadow_of):
+    """The shadow copy of a protected instruction (placed before it)."""
+    copy = instruction.copy()
+    copy.rd = shadow_of[instruction.rd]
+    copy.rs1 = _shadow_source(copy.rs1, valid, shadow_of) \
+        if copy.rs1 is not None else None
+    if instruction.format is Format.RRR:
+        copy.rs2 = _shadow_source(copy.rs2, valid, shadow_of)
+    return copy
+
+
+def harden_function(function, protected):
+    """Apply the hardening transform; returns a :class:`HardenResult`.
+
+    *protected* is a collection of program points; every point must
+    name an eligible (value-producing) instruction of *function*.
+    An empty *protected* set returns an unmodified copy (the ``none``
+    baseline) — no entry inits, no checkers.
+    """
+    protected = frozenset(protected)
+    for pp in protected:
+        if not is_eligible(function.instruction_at(pp)):
+            raise AnalysisError(
+                f"program point p{pp} "
+                f"({function.instruction_at(pp)}) is not eligible for "
+                f"duplication")
+    with_inits = bool(protected)
+    shadowed = {function.instruction_at(pp).rd for pp in protected}
+    if with_inits:
+        shadowed.update(function.params)
+    prefix = shadow_prefix(function)
+    shadow_of = {reg: prefix + reg for reg in sorted(shadowed)}
+    validity = shadow_validity(function, protected, with_inits)
+
+    hardened = Function(function.name, bit_width=function.bit_width,
+                        params=function.params)
+    origin = []            # original pp per emitted instruction
+    attached = []          # attachment pp per emitted instruction
+    n_shadow = n_check = n_init = 0
+    entry = function.entry
+    for block in function.blocks:
+        new_block = hardened.new_block(block.label)
+
+        def emit(instruction, source_pp, attached_pp):
+            new_block.append(instruction)
+            origin.append(source_pp)
+            attached.append(attached_pp)
+
+        valid = set(validity[block.label])
+        if with_inits and block is entry:
+            entry_pp = block.instructions[0].pp if block.instructions \
+                else None
+            for param in function.params:
+                emit(mv(shadow_of[param], param), None, entry_pp)
+                n_init += 1
+            valid |= set(function.params)
+        for instruction in block.instructions:
+            if is_sync_point(instruction):
+                seen = set()
+                for reg in instruction.data_reads():
+                    if reg in valid and reg not in seen:
+                        seen.add(reg)
+                        emit(check(reg, shadow_of[reg]), None,
+                             instruction.pp)
+                        n_check += 1
+            if instruction.pp in protected:
+                emit(_shadow_instruction(instruction, valid, shadow_of),
+                     None, instruction.pp)
+                n_shadow += 1
+                emit(instruction.copy(), instruction.pp, instruction.pp)
+                valid.add(instruction.rd)
+            else:
+                emit(instruction.copy(), instruction.pp, instruction.pp)
+                for reg in instruction.data_writes():
+                    valid.discard(reg)
+    hardened.finalize()
+    attached_to = {pp: attached_pp
+                   for pp, (source, attached_pp)
+                   in enumerate(zip(origin, attached))
+                   if source is None and attached_pp is not None}
+    return HardenResult(hardened, function, protected, shadow_of,
+                        origin, attached_to, n_shadow, n_check, n_init)
+
+
+def static_overhead(function, protected, exec_counts, with_inits=None):
+    """Predicted extra dynamic instructions of protecting *protected*,
+    without building the hardened IR (the selection loop calls this per
+    candidate).  ``exec_counts`` maps original program points to their
+    golden-trace execution counts.  Matches
+    :meth:`HardenResult.predicted_extra_cycles` exactly.
+    """
+    protected = frozenset(protected)
+    if with_inits is None:
+        with_inits = bool(protected)
+    if not protected and not with_inits:
+        return 0
+    validity = shadow_validity(function, protected, with_inits)
+    extra = 0
+    entry = function.entry
+    if with_inits and entry.instructions:
+        extra += len(function.params) \
+            * exec_counts.get(entry.instructions[0].pp, 0)
+    for block in function.blocks:
+        valid = set(validity[block.label])
+        if with_inits and block is entry:
+            valid |= set(function.params)
+        for instruction in block.instructions:
+            count = exec_counts.get(instruction.pp, 0)
+            if is_sync_point(instruction):
+                seen = set()
+                for reg in instruction.data_reads():
+                    if reg in valid and reg not in seen:
+                        seen.add(reg)
+                        extra += count
+            if instruction.pp in protected:
+                extra += count
+                valid.add(instruction.rd)
+            else:
+                for reg in instruction.data_writes():
+                    valid.discard(reg)
+    return extra

@@ -33,6 +33,7 @@ class Format(enum.Enum):
     JUMP = "jump"        # op label
     RET = "ret"          # ret [rs]
     OUT = "out"          # out rs
+    CHECK = "check"      # check rs1, rs2
     NOP = "nop"          # nop
 
 
@@ -92,6 +93,7 @@ class Opcode(enum.Enum):
     RET = "ret"
     # misc
     OUT = "out"
+    CHECK = "check"
     NOP = "nop"
 
 
@@ -117,6 +119,7 @@ _FORMATS = {
     Opcode.J: Format.JUMP,
     Opcode.RET: Format.RET,
     Opcode.OUT: Format.OUT,
+    Opcode.CHECK: Format.CHECK,
     Opcode.NOP: Format.NOP,
 }
 
@@ -146,8 +149,11 @@ STORES = frozenset({Opcode.SW, Opcode.SB})
 LOADS = frozenset({Opcode.LW, Opcode.LB, Opcode.LBU})
 
 #: Opcodes with externally observable side effects; their relative order
-#: must be preserved by any rescheduling.
-OBSERVABLE_OPS = frozenset({Opcode.OUT, Opcode.SW, Opcode.SB, Opcode.RET})
+#: must be preserved by any rescheduling.  ``check`` belongs here: it can
+#: terminate the run with a detected-fault trap, so moving it across
+#: other observable operations would change observable behaviour.
+OBSERVABLE_OPS = frozenset({Opcode.OUT, Opcode.SW, Opcode.SB, Opcode.RET,
+                            Opcode.CHECK})
 
 _OPCODES_BY_NAME = {op.value: op for op in Opcode}
 
@@ -199,6 +205,7 @@ class Instruction:
             Format.JUMP: ("label",),
             Format.RET: (),
             Format.OUT: ("rs1",),
+            Format.CHECK: ("rs1", "rs2"),
             Format.NOP: (),
         }[fmt]
         for field in need:
@@ -246,7 +253,7 @@ class Instruction:
     def reads(self):
         """Registers read by this instruction, including ``zero``."""
         fmt = self.format
-        if fmt in (Format.RRR, Format.BRANCH):
+        if fmt in (Format.RRR, Format.BRANCH, Format.CHECK):
             return (self.rs1, self.rs2)
         if fmt in (Format.RRI, Format.RR, Format.LOAD, Format.BRANCHZ,
                    Format.OUT):
@@ -323,6 +330,8 @@ class Instruction:
             return f"{op} {self.rs1}" if self.rs1 is not None else op
         if fmt is Format.OUT:
             return f"{op} {self.rs1}"
+        if fmt is Format.CHECK:
+            return f"{op} {self.rs1}, {self.rs2}"
         return op
 
 
@@ -370,3 +379,9 @@ def ret(rs=None):
 
 def out(rs):
     return Instruction(Opcode.OUT, rs1=rs)
+
+
+def check(rs1, rs2):
+    """A redundancy checker: trap with kind ``detected-fault`` when the
+    two registers differ, fall through when they agree."""
+    return Instruction(Opcode.CHECK, rs1=rs1, rs2=rs2)

@@ -103,6 +103,9 @@ def parse_instruction(text, line_no=None):
     if kind is fmt.OUT:
         need(1)
         return Instruction(opcode, rs1=operands[0])
+    if kind is fmt.CHECK:
+        need(2)
+        return Instruction(opcode, rs1=operands[0], rs2=operands[1])
     need(0)
     return Instruction(opcode)
 

@@ -3,7 +3,8 @@ reproducible claims."""
 
 import pytest
 
-from repro.experiments import fig2, fig4, table1, table2, table3, table4
+from repro.experiments import (fig2, fig4, protection, table1, table2,
+                               table3, table4)
 
 
 class TestFig2:
@@ -118,6 +119,37 @@ class TestTable1:
 
     def test_render(self, result):
         assert "Table I" in table1.render(result)
+
+
+class TestProtection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return protection.run_experiment(names=("bitcount", "RSA"),
+                                         target_runs=64,
+                                         budgets=(0.3, 0.85))
+
+    def test_rows(self, result):
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["baseline_sdc"] > 0
+            # Full duplication converts every baseline SDC it sees.
+            assert row["full_converted"] == row["baseline_sdc"]
+            assert row["full_residual"] == 0
+            assert row["full_overhead"] > 0.5
+
+    def test_budgets_monotone_and_honored(self, result):
+        for row in result["rows"]:
+            entries = row["budgets"]
+            for entry in entries:
+                assert entry["overhead"] <= entry["budget"] + 0.02
+                assert 0 <= entry["converted"] <= row["full_converted"]
+                assert entry["residual_sdc"] + entry["converted"] \
+                    <= row["baseline_sdc"]
+            assert entries[-1]["converted"] >= entries[0]["converted"]
+
+    def test_render(self, result):
+        text = protection.render(result)
+        assert "bitcount" in text and "Protection trade-off" in text
 
 
 class TestTable2:

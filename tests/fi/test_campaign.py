@@ -90,6 +90,28 @@ class TestRunningCampaigns:
         assert result.vulnerable_runs() > 0
         assert counts.get(EFFECT_MASKED, 0) > 0
 
+    def test_effect_counts_zero_defaults(self, motivating_function,
+                                         motivating_machine,
+                                         motivating_golden,
+                                         motivating_bec):
+        """Every effect class is present with a zero default, so
+        reporting code can index any class (e.g. `detected`) without
+        guarding against missing keys."""
+        from repro.fi.campaign import EFFECT_CLASSES
+
+        plan = plan_bec(motivating_function, motivating_golden,
+                        motivating_bec)[:5]
+        result = run_campaign(motivating_machine, plan,
+                              golden=motivating_golden)
+        counts = result.effect_counts()
+        assert set(counts) == set(EFFECT_CLASSES)
+        assert counts["detected"] == 0
+        assert counts["timeout"] == 0
+        empty = run_campaign(motivating_machine, [],
+                             golden=motivating_golden)
+        assert empty.effect_counts() \
+            == {effect: 0 for effect in EFFECT_CLASSES}
+
     def test_distinct_traces_bounded(self, motivating_function,
                                      motivating_machine,
                                      motivating_golden, motivating_bec):

@@ -198,6 +198,46 @@ class TestEngineParityAcrossCores:
                                         checkpoint_interval=interval))
 
 
+class TestHardenedEngineParity:
+    """The engine contract extends to hardened binaries: a mapped fault
+    plan replayed on a protected benchmark must yield bit-identical
+    aggregates serial vs parallel vs checkpointed and across cores,
+    with the new `detected` effect class populated."""
+
+    @pytest.fixture(scope="class")
+    def hardened_bitcount(self):
+        from repro.harden import harden
+        from repro.harden.evaluate import strided_plan
+
+        run = benchmark_run("bitcount")
+        result = harden(run.function, "bec", budget=0.3,
+                        golden=run.golden, bec=run.bec)
+        machine = Machine(result.function,
+                          memory_image=run.machine.memory_image)
+        golden = machine.run(regs=run.regs)
+        plan = result.map_plan(
+            strided_plan(run.function, run.golden, 48), golden)
+        return run, result, machine, golden, plan
+
+    def test_modes_and_cores_identical(self, hardened_bitcount):
+        run, result, machine, golden, plan = hardened_bitcount
+        engine = CampaignEngine(machine, plan, regs=run.regs,
+                                golden=golden)
+        base = engine.run()
+        assert base.effect_counts()["detected"] > 0
+        interval = max(1, golden.cycles // 16)
+        assert_identical(base, engine.run(workers=4))
+        assert_identical(base, engine.run(workers=4,
+                                          checkpoint_interval=interval))
+        reference = Machine(result.function, core="reference",
+                            memory_image=run.machine.memory_image)
+        reference_golden = reference.run(regs=run.regs)
+        assert reference_golden.key() == golden.key()
+        assert_identical(base, CampaignEngine(
+            reference, plan, regs=run.regs,
+            golden=reference_golden).run())
+
+
 class TestSamplingCheckpointParity:
     def test_estimate_avf_checkpointed_is_identical(self,
                                                     motivating_function,

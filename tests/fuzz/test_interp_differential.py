@@ -139,6 +139,41 @@ def test_multi_event_upsets_identical(seed):
     assert_traces_identical(expected, actual, (seed, injection))
 
 
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_hardened_runs_identical(seed):
+    """Hardened programs (shadow instructions + `check` traps) must be
+    trace-for-trace identical across cores too — clean and faulted,
+    including injections into shadow registers that fire the
+    detected-fault trap path."""
+    from repro.harden import harden
+
+    function = generate_function(seed, _CFG)
+    regs = random_inputs(seed, function)
+    golden_probe = Machine(function, memory_size=_MEMORY_SIZE).run(
+        regs=regs, max_cycles=_MAX_CYCLES)
+    result = harden(function, "full")
+    reference, fast = _machines(result.function)
+    expected = reference.run(regs=regs, max_cycles=_MAX_CYCLES)
+    actual = fast.run(regs=regs, max_cycles=_MAX_CYCLES)
+    assert_traces_identical(expected, actual, seed)
+    if golden_probe.outcome == "ok":
+        assert result.projected_path(actual) == golden_probe.executed
+    registers = result.function.registers()   # originals + shadows
+    width = function.bit_width
+    rng = random.Random(seed ^ 0x44E7)
+    for trial in range(6):
+        injection = Injection(rng.randrange(-1, max(expected.cycles, 1)),
+                              rng.choice(registers),
+                              rng.randrange(width))
+        faulted_expected = reference.run(regs=regs, injection=injection,
+                                         max_cycles=_MAX_CYCLES)
+        faulted_actual = fast.run(regs=regs, injection=injection,
+                                  max_cycles=_MAX_CYCLES)
+        assert_traces_identical(faulted_expected, faulted_actual,
+                                (seed, injection))
+
+
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10**6))
 def test_snapshot_resume_identical_across_cores(seed):

@@ -210,6 +210,127 @@ class TestCompileLevels:
         assert len(level2.splitlines()) <= len(level0.splitlines())
 
 
+class TestOptLevelThreading:
+    """`-O`/`--no-opt` must reach every command that loads a program,
+    so analyses and campaigns can run at a matching opt level."""
+
+    def test_run_honors_no_opt(self, minic_file, capsys):
+        assert main(["run", minic_file]) == 0
+        optimized = capsys.readouterr().out
+        assert main(["run", minic_file, "--no-opt"]) == 0
+        raw = capsys.readouterr().out
+        assert "returned: 10" in optimized and "returned: 10" in raw
+        cycles = lambda text: int(  # noqa: E731
+            [l for l in text.splitlines() if "cycles" in l][0].split()[-1])
+        assert cycles(raw) >= cycles(optimized)
+
+    def test_analyze_honors_level(self, minic_file, capsys):
+        assert main(["analyze", minic_file, "-O", "0"]) == 0
+        raw = capsys.readouterr().out
+        assert main(["analyze", minic_file, "-O", "2"]) == 0
+        opt = capsys.readouterr().out
+        instrs = lambda text: int(  # noqa: E731
+            text.split(" instructions")[0].rsplit(" ", 1)[-1])
+        assert instrs(raw) >= instrs(opt)
+
+    def test_campaign_honors_level(self, minic_file, capsys):
+        assert main(["campaign", minic_file, "-O", "0"]) == 0
+        raw = capsys.readouterr().out
+        assert main(["campaign", minic_file, "-O", "1"]) == 0
+        opt = capsys.readouterr().out
+        runs = lambda text: int(  # noqa: E731
+            [l for l in text.splitlines()
+             if "fault-injection runs" in l][0].split()[-3])
+        assert runs(raw) >= runs(opt)
+        cycles = lambda text: int(  # noqa: E731
+            [l for l in text.splitlines()
+             if "golden trace" in l][0].split()[2])
+        assert cycles(raw) > cycles(opt)
+
+    def test_sample_accepts_level(self, minic_file, capsys):
+        assert main(["sample", minic_file, "--budget", "40",
+                     "-O", "2"]) == 0
+        assert "AVF estimate" in capsys.readouterr().out
+
+
+HARDEN_MINIC = """
+int main(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1)
+        sum = sum + (i & 5);
+    out(sum);
+    return sum;
+}
+"""
+
+
+@pytest.fixture
+def harden_minic_file(tmp_path):
+    path = tmp_path / "acc.mc"
+    path.write_text(HARDEN_MINIC)
+    return str(path)
+
+
+class TestHarden:
+    @pytest.mark.parametrize("strategy", ["none", "full", "bec"])
+    def test_emits_parseable_ir(self, harden_minic_file, capsys, strategy):
+        assert main(["harden", harden_minic_file, "--strategy", strategy,
+                     "--args", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "func main" in output
+        if strategy == "full":
+            assert "check" in output
+
+    def test_budget_respected(self, harden_minic_file, tmp_path, capsys):
+        out = str(tmp_path / "hardened.ir")
+        assert main(["harden", harden_minic_file, "--strategy", "bec",
+                     "--budget", "0.25", "--args", "6",
+                     "-o", out]) == 0
+        err = capsys.readouterr().err
+        overhead = float(err.split("dynamic overhead: +")[1].split("%")[0])
+        assert overhead <= 25.0
+
+    @pytest.mark.parametrize("core", ["threaded", "reference"])
+    def test_roundtrip_campaign_on_hardened_ir(self, harden_minic_file,
+                                               tmp_path, capsys, core):
+        """`repro harden -o x.ir` then `repro campaign x.ir` — the
+        hardened IR round-trips through the parser and the campaign
+        reports detected runs on either execution core."""
+        out = str(tmp_path / "hardened.ir")
+        assert main(["harden", harden_minic_file, "--strategy", "full",
+                     "--args", "6", "-o", out]) == 0
+        capsys.readouterr()
+        assert main(["campaign", out, "--mode", "exhaustive",
+                     "--execute", "48", "--core", core,
+                     "--args", "6"]) == 0
+        output = capsys.readouterr().out
+        detected = int(output.split("'detected': ")[1].split(",")[0])
+        assert detected > 0
+
+    @pytest.mark.parametrize("core", ["threaded", "reference"])
+    def test_campaign_harden_flag(self, harden_minic_file, capsys, core):
+        assert main(["campaign", harden_minic_file, "--harden", "bec",
+                     "--budget", "0.3", "--execute", "32",
+                     "--core", core, "--args", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "hardened (bec):" in output
+        assert "overhead" in output
+
+    def test_campaign_harden_cores_agree(self, harden_minic_file, capsys):
+        runs = {}
+        for core in ("threaded", "reference"):
+            assert main(["campaign", harden_minic_file, "--harden",
+                         "full", "--execute", "64", "--core", core,
+                         "--args", "5"]) == 0
+            output = capsys.readouterr().out
+            effects = [line.split("s: ", 1)[1] for line in
+                       output.splitlines() if line.startswith("executed")]
+            distinct = [line for line in output.splitlines()
+                        if "distinguishable" in line]
+            runs[core] = (effects, distinct)
+        assert runs["threaded"] == runs["reference"]
+
+
 class TestSchedulePolicies:
     @pytest.mark.parametrize("policy", ["live-interval", "lookahead"])
     def test_related_policies_available(self, ir_file, policy, capsys):
