@@ -1,0 +1,133 @@
+"""Cross-PR performance trajectory from the checked-in BENCH_*.json
+reports.
+
+Each perf PR gates its headline number in CI and checks in a
+machine-readable report produced on a quiet box:
+
+* ``BENCH_interp.json``   — threaded-code execution core (single-run
+                            speedup over the reference interpreter);
+* ``BENCH_harden.json``   — selective software redundancy (detection
+                            coverage vs dynamic overhead);
+* ``BENCH_campaign.json`` — lockstep-vectorized campaign core
+                            (campaign-level speedup over the
+                            checkpointed threaded engine).
+
+This script renders them all as one trajectory table::
+
+    PYTHONPATH=src python benchmarks/report.py [--dir REPO_ROOT]
+
+Unknown ``BENCH_*.json`` files are listed with their top-level keys, so
+future PRs extend the trajectory without editing this script.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def report_interp(data):
+    rows = data.get("programs", [])
+    best = max(rows, key=lambda row: row["speedup"]) if rows else None
+    print(f"  single-run geomean speedup (threaded vs reference): "
+          f"{data['geomean_speedup']:.2f}x "
+          f"(gate >= {data.get('gate_geomean', 0):.1f}x, "
+          f"{data.get('mode', '?')} mode)")
+    if best:
+        print(f"  best kernel: {best['program']} "
+              f"{best['speedup']:.2f}x "
+              f"({best['threaded_ips'] / 1e6:.1f} M instr/s)")
+    campaign = data.get("campaign")
+    if campaign:
+        print(f"  compounded campaign win ({campaign['program']}): "
+              f"{campaign['compound_speedup']:.2f}x vs reference-serial")
+
+
+def report_harden(data):
+    rows = data.get("programs", [])
+    aggregate = data.get("aggregate", {})
+    if rows:
+        converted = sum(row["full"]["converted"] for row in rows)
+        baseline = sum(row["baseline_sdc"] for row in rows)
+        print(f"  full duplication: {converted}/{baseline} sampled SDCs "
+              f"converted to detected faults")
+    coverage = aggregate.get("default_budget_coverage")
+    if coverage is not None:
+        print(f"  bec @ default budget: {coverage:.0%} of full "
+              f"duplication's coverage")
+    for key, value in sorted(aggregate.items()):
+        if key != "default_budget_coverage" and isinstance(value,
+                                                          (int, float)):
+            print(f"  {key}: {value:.3g}")
+
+
+def report_campaign(data):
+    gate = data.get("gate", {})
+    families = data.get("geomean_batched_vs_engine", {})
+    print(f"  campaign geomean speedup (batched vs checkpointed "
+          f"threaded engine, {data.get('mode', '?')} mode):")
+    for family, value in families.items():
+        gated = " [gated]" if family == gate.get("family") else ""
+        print(f"    {family:<11} {value:.2f}x{gated}")
+    if gate:
+        verdict = "PASS" if gate.get("passed") else "FAIL"
+        print(f"  gate: >= {gate.get('threshold', 0):.1f}x on "
+              f"{gate.get('family')} -> {verdict}")
+    rows = [row for row in data.get("rows", [])
+            if row["family"] == "exhaustive"]
+    if rows:
+        best = max(rows, key=lambda row: row["speedup_batched_vs_engine"])
+        print(f"  best kernel: {best['program']} "
+              f"{best['speedup_batched_vs_engine']:.2f}x "
+              f"({best['plan_runs']} runs over {best['trace_cycles']} "
+              f"cycles)")
+
+
+#: filename -> (PR label, headline, renderer)
+KNOWN = {
+    "BENCH_interp.json": ("PR 2", "threaded-code execution core",
+                          report_interp),
+    "BENCH_harden.json": ("PR 3", "BEC-guided selective redundancy",
+                          report_harden),
+    "BENCH_campaign.json": ("PR 4", "lockstep-vectorized campaign core",
+                            report_campaign),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=None,
+                        help="directory holding BENCH_*.json (default: "
+                             "the repository root above this script)")
+    options = parser.parse_args(argv)
+    root = options.dir or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    names = sorted(name for name in os.listdir(root)
+                   if name.startswith("BENCH_") and name.endswith(".json"))
+    if not names:
+        print(f"no BENCH_*.json reports under {root}", file=sys.stderr)
+        return 1
+    print(f"perf trajectory ({len(names)} reports under {root}):\n")
+    ordered = sorted(
+        names, key=lambda name: KNOWN.get(name, ("PR ?",))[0])
+    for name in ordered:
+        data = _load(os.path.join(root, name))
+        label, headline, renderer = KNOWN.get(
+            name, (None, None, None))
+        if renderer is None:
+            print(f"{name}: (unrecognized schema; keys: "
+                  f"{', '.join(sorted(data)[:8])})")
+        else:
+            print(f"{label} · {headline} ({name})")
+            renderer(data)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

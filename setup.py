@@ -14,11 +14,18 @@ setup(
                  "Reliability against Soft Errors' (Ko & Burgstaller, "
                  "CGO 2024): bit-level liveness/equivalence analysis, "
                  "an ISA-level fault-injection simulator, a "
-                 "checkpointed, parallel campaign engine and "
-                 "BEC-guided selective software redundancy"),
+                 "checkpointed, parallel, lockstep-vectorized campaign "
+                 "engine and BEC-guided selective software redundancy"),
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
+    # The core package is dependency-free.  NumPy powers the optional
+    # SIMD-across-faults campaign core (`Machine(core="batched")`);
+    # without it the engine transparently falls back to the scalar
+    # threaded core with identical results.
+    extras_require={
+        "batched": ["numpy>=1.22"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

@@ -6,7 +6,8 @@ Usage (``python -m repro <command> ...``)::
     run      FILE.{mc,ir} [--args N ...]       simulate, print outputs
     analyze  FILE.{mc,ir} [--extended]         BEC report per window
     campaign FILE.{mc,ir} [--mode bec|ior|exhaustive] [--execute N]
-             [--harden none|full|bec] [--budget F] [--core ...]
+             [--harden none|full|bec] [--budget F]
+             [--core threaded|reference|batched] [--prune liveness]
     harden   FILE.{mc,ir} [--strategy none|full|bec] [--budget F]
                                                selective redundancy -> IR
     validate FILE.{mc,ir} [--cycles N]         paper §V soundness check
@@ -138,6 +139,8 @@ def cmd_campaign(options):
         raise SystemExit("--workers must be >= 1")
     if options.checkpoint_interval < 0:
         raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
+    if options.batch_lanes is not None and options.batch_lanes < 1:
+        raise SystemExit("--batch-lanes must be >= 1")
     program = load_program(options.file, optimize=_opt_level(options))
     machine, golden = _golden(program, options.args, core=options.core)
     if options.harden != "none":
@@ -173,15 +176,24 @@ def cmd_campaign(options):
             def progress(done, total):
                 print(f"\r  {done}/{total} runs", end="",
                       file=sys.stderr, flush=True)
+        prune = None if options.prune == "none" else options.prune
         result = run_campaign(machine, slice_,
                               regs=_initial_regs(program, options.args),
                               golden=golden, workers=options.workers,
                               checkpoint_interval=options.checkpoint_interval,
-                              progress=progress)
+                              progress=progress, prune=prune,
+                              batch_lanes=options.batch_lanes)
         if options.progress:
             print(file=sys.stderr)
-        mode = (f"workers={options.workers}, "
+        core_label = options.core
+        if options.core == "batched" and not result.vectorized:
+            core_label = "batched (scalar fallback: NumPy unavailable " \
+                         "or setup not batchable)"
+        mode = (f"core={core_label}, workers={options.workers}, "
                 f"checkpoint-interval={options.checkpoint_interval or 'off'}")
+        if prune:
+            mode += (f", prune={prune} "
+                     f"({result.pruned_runs} runs pre-classified)")
         print(f"executed {len(slice_)} runs ({mode}) in "
               f"{result.wall_time:.2f}s: {result.effect_counts()}")
         print(f"distinguishable traces: {result.distinct_traces} "
@@ -268,7 +280,7 @@ def cmd_sample(options):
     if options.checkpoint_interval < 0:
         raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
     program = load_program(options.file, optimize=_opt_level(options))
-    machine, golden = _golden(program, options.args)
+    machine, golden = _golden(program, options.args, core=options.core)
     bec = run_bec(program.function) if options.bec else None
     estimate = estimate_avf(machine, program.function, golden,
                             options.budget, seed=options.seed,
@@ -434,10 +446,12 @@ def build_parser():
     sub.add_argument("--budget", type=float, default=0.3,
                      help="dynamic instruction overhead budget for "
                           "--harden bec (0.3 = at most 30%% extra)")
-    sub.add_argument("--core", choices=("threaded", "reference"),
+    sub.add_argument("--core", choices=("threaded", "reference", "batched"),
                      default="threaded",
                      help="execution core (results are bit-identical; "
-                          "'reference' is the differential oracle)")
+                          "'reference' is the differential oracle, "
+                          "'batched' runs the campaign SIMD-across-"
+                          "faults with NumPy lockstep lanes)")
     sub.add_argument("--execute", type=int, default=0,
                      help="execute the first N planned runs")
     sub.add_argument("--workers", type=int, default=1,
@@ -447,7 +461,18 @@ def build_parser():
                      metavar="CYCLES",
                      help="resume injected runs from golden-run "
                           "snapshots taken every CYCLES instructions "
-                          "(0 = off)")
+                          "(0 = off; the batched core auto-enables "
+                          "checkpointing)")
+    sub.add_argument("--prune", choices=("none", "liveness"),
+                     default="none",
+                     help="pre-classify injections provably overwritten"
+                          "-before-read on the golden path as masked, "
+                          "without simulation (aggregates stay "
+                          "bit-identical)")
+    sub.add_argument("--batch-lanes", type=int, default=None,
+                     metavar="N",
+                     help="lockstep lane count for --core batched "
+                          "(default 256)")
     sub.add_argument("--progress", action="store_true",
                      help="print a progress line to stderr")
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
@@ -489,6 +514,12 @@ def build_parser():
     sub.add_argument("--confidence", type=float, default=0.95)
     sub.add_argument("--bec", action="store_true",
                      help="collapse simulator runs per BEC class")
+    sub.add_argument("--core", choices=("threaded", "reference",
+                                        "batched"),
+                     default="threaded",
+                     help="execution core; 'batched' classifies all "
+                          "unique sampled sites in one lockstep pass "
+                          "(needs --checkpoint-interval)")
     sub.add_argument("--checkpoint-interval", type=int, default=0,
                      metavar="CYCLES",
                      help="resume sampled runs from golden-run "

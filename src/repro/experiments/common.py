@@ -5,11 +5,12 @@ its golden trace and the BEC analysis; results are cached per process
 because several experiments share them.
 
 Campaign-executing experiments go through :meth:`BenchmarkRun.run_plan`
-so the engine knobs apply uniformly; ``REPRO_WORKERS`` and
-``REPRO_CHECKPOINT_INTERVAL`` set process-wide defaults (e.g. to speed
-up ``python -m repro.experiments`` on a multi-core box) without
-changing any experiment's results — the engine guarantees bit-identical
-aggregates.
+so the engine knobs apply uniformly; ``REPRO_WORKERS``,
+``REPRO_CHECKPOINT_INTERVAL`` and ``REPRO_CORE`` set process-wide
+defaults (e.g. ``REPRO_CORE=batched REPRO_CHECKPOINT_INTERVAL=64`` to
+speed up ``python -m repro.experiments`` with the lockstep core)
+without changing any experiment's results — the engine guarantees
+bit-identical aggregates.
 """
 
 import os
@@ -35,7 +36,9 @@ class BenchmarkRun:
         self.program = compile_benchmark(name)
         self.function = self.program.function
         self.machine = Machine(self.function,
-                               memory_image=self.program.memory_image)
+                               memory_image=self.program.memory_image,
+                               core=os.environ.get("REPRO_CORE",
+                                                   "threaded"))
         self.regs = self.program.initial_regs(*self.benchmark.args)
         self.golden = self.machine.run(regs=self.regs)
         if self.golden.outcome != "ok":

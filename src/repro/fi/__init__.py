@@ -10,6 +10,7 @@ from repro.fi.campaign import (EFFECT_BENIGN, EFFECT_MASKED, EFFECT_SDC,
                                run_campaign)
 from repro.fi.machine import (DEFAULT_MAX_CYCLES, Injection, Machine,
                               MemoryInjection)
+from repro.fi.prune import LivenessPruner
 from repro.fi.memory import (iter_memory_bit_reads, memory_fault_accounting,
                              plan_memory_bec, plan_memory_inject_on_read,
                              run_memory_campaign)
@@ -29,6 +30,7 @@ __all__ = [
     "EFFECT_TIMEOUT",
     "EFFECT_TRAP",
     "Injection",
+    "LivenessPruner",
     "Machine",
     "MemoryInjection",
     "Trace",

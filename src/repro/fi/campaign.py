@@ -82,6 +82,8 @@ class CampaignResult:
         self.golden = golden
         self.runs = []            # (PlannedRun, effect, signature)
         self.wall_time = 0.0
+        self.pruned_runs = 0      # masked without simulation (liveness)
+        self.vectorized = False   # lockstep core actually engaged
         self._distinct = {}
 
     def record(self, planned, effect, signature, byte_size):
@@ -129,14 +131,16 @@ def classify_effect(golden, injected):
 
 
 def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
-                 workers=1, checkpoint_interval=None, progress=None):
+                 workers=1, checkpoint_interval=None, progress=None,
+                 prune=None, batch_lanes=None):
     """Execute every planned run; returns a :class:`CampaignResult`.
 
     ``machine`` must wrap the same function the plan was made for; the
     golden trace is recomputed unless supplied.  Thin wrapper over
-    :class:`repro.fi.engine.CampaignEngine` — ``workers`` and
-    ``checkpoint_interval`` opt into parallel and checkpointed
-    execution with bit-identical aggregates.
+    :class:`repro.fi.engine.CampaignEngine` — ``workers``,
+    ``checkpoint_interval``, ``prune`` and (on a ``core="batched"``
+    machine) lockstep vectorization opt into accelerated execution
+    with bit-identical aggregates.
     """
     from repro.fi.engine import CampaignEngine
 
@@ -144,7 +148,8 @@ def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
                             max_cycles=max_cycles)
     return engine.run(workers=workers,
                       checkpoint_interval=checkpoint_interval,
-                      progress=progress)
+                      progress=progress, prune=prune,
+                      batch_lanes=batch_lanes)
 
 
 def golden_run(function, regs=None, memory_image=None, memory_size=1 << 16,

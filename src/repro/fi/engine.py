@@ -1,4 +1,4 @@
-"""Checkpointed, parallel fault-injection campaign engine.
+"""Checkpointed, parallel, vectorized fault-injection campaign engine.
 
 :func:`repro.fi.campaign.run_campaign` executes every planned injection
 serially and from cycle 0 — O(runs × trace-length) simulator work even
@@ -12,26 +12,50 @@ cycle.  This module is the production engine behind it:
   O(runs × avg-tail).  This is the standard acceleration campaign tools
   built around SPIKE-style ISA simulators use to make exhaustive
   register-file sweeps (the paper's Table I baseline) tractable.
-* **Parallelism** (``workers=N``): the plan is partitioned into
-  contiguous chunks executed by ``fork``-ed worker processes.  Chunks
-  are merged back in plan order, so the resulting
-  :class:`CampaignResult` — run order, ``effect_counts()``,
-  ``vulnerable_runs()``, ``distinct_traces`` — is bit-identical to the
-  serial baseline.  Platforms without the ``fork`` start method fall
-  back to serial execution (same results, no speedup).
+* **Parallelism** (``workers=N``): the plan is dealt into strided
+  (round-robin) chunks executed by ``fork``-ed worker processes, so
+  the expensive early-cycle injections — whose resumed tails span
+  nearly the whole trace — spread evenly across workers instead of
+  serializing in the first contiguous chunk.  Records are merged back
+  in plan order, so the resulting :class:`CampaignResult` — run order,
+  ``effect_counts()``, ``vulnerable_runs()``, ``distinct_traces`` — is
+  bit-identical to the serial baseline.  Platforms without the
+  ``fork`` start method fall back to serial execution (same results,
+  no speedup).
+* **Lockstep vectorization** (a machine built with
+  ``core="batched"``): the plan is executed SIMD-across-faults by
+  :mod:`repro.fi.batch` — one NumPy lane per planned injection running
+  along the golden path, with divergent lanes escaping to the threaded
+  core and reconverged lanes retiring as masked.  Requires NumPy and
+  snapshots; the engine auto-enables checkpointing and silently falls
+  back to the scalar threaded path when NumPy is missing.
+* **Liveness pre-classification** (``prune="liveness"``, opt-in): an
+  injection whose register is overwritten on the golden path before it
+  is next read is provably masked and recorded without simulation
+  (:mod:`repro.fi.prune`); ``CampaignResult.pruned_runs`` counts them.
 
-Both knobs compose: snapshots are captured in the parent before the
-pool forks, so workers inherit them for free.
+All knobs compose and every combination preserves bit-identical
+aggregates; snapshots and the batch classifier are built in the parent
+before the pool forks, so workers inherit them for free.
 """
 
 import multiprocessing
 import time
 
-from repro.fi.campaign import CampaignResult, classify_effect
+from repro.errors import SimulationError
+from repro.fi import batch
+from repro.fi.campaign import (EFFECT_MASKED, CampaignResult,
+                               classify_effect)
+from repro.fi.prune import LivenessPruner
 
 #: Chunks per worker — small enough to amortize task dispatch, large
 #: enough that a slow chunk doesn't serialize the tail of the campaign.
+#: (With strided assignment chunks are statistically balanced already,
+#: but per-chunk dispatch also paces the progress callback.)
 _CHUNKS_PER_WORKER = 4
+
+#: Valid ``prune`` arguments of :meth:`CampaignEngine.run`.
+PRUNE_MODES = (None, "none", "liveness")
 
 
 def pick_snapshot(snapshots, cycle):
@@ -62,7 +86,8 @@ def pick_snapshot(snapshots, cycle):
 def run_injection(machine, injection, regs, snapshots, max_cycles):
     """Execute one injected run, resuming from the deepest usable
     snapshot when there is one (the single resume protocol shared by
-    campaign workers and the sampling estimator)."""
+    campaign workers, the sampling estimator and the batched core's
+    escape queue)."""
     snapshot = pick_snapshot(snapshots, injection.cycle)
     if snapshot is not None:
         return machine.run_from(snapshot, injection=injection,
@@ -75,13 +100,16 @@ def run_injection(machine, injection, regs, snapshots, max_cycles):
 class _WorkerContext:
     """Everything a forked worker needs, inherited by reference."""
 
-    def __init__(self, machine, plan, regs, golden, snapshots, max_cycles):
+    def __init__(self, machine, plan, regs, golden, snapshots, max_cycles,
+                 todo, classifier=None):
         self.machine = machine
         self.plan = plan
         self.regs = regs
         self.golden = golden
         self.snapshots = snapshots
         self.max_cycles = max_cycles
+        self.todo = todo                # plan indices left to classify
+        self.classifier = classifier    # BatchClassifier or None
 
     def classify(self, planned):
         injected = run_injection(self.machine, planned.injection,
@@ -89,6 +117,18 @@ class _WorkerContext:
                                  self.max_cycles)
         return (classify_effect(self.golden, injected),
                 injected.signature(), injected.byte_size())
+
+    def classify_indices(self, indices, progress=None):
+        """Records for the plan entries at *indices* (in order)."""
+        if self.classifier is not None:
+            return self.classifier.classify_indices(indices,
+                                                    progress=progress)
+        records = []
+        for count, index in enumerate(indices):
+            records.append(self.classify(self.plan[index]))
+            if progress is not None and (count + 1) % 64 == 0:
+                progress(count + 1, len(indices))
+        return records
 
 
 _WORKER = None
@@ -99,15 +139,17 @@ def _init_worker(context):
     _WORKER = context
 
 
-def _run_chunk(bounds):
-    start, end = bounds
+def _run_chunk(chunk):
+    """One strided chunk: every ``n_chunks``-th pending plan index,
+    starting at ``chunk_index`` (round-robin deal)."""
+    chunk_index, n_chunks = chunk
     context = _WORKER
-    return [context.classify(planned)
-            for planned in context.plan[start:end]]
+    return context.classify_indices(context.todo[chunk_index::n_chunks])
 
 
 class CampaignEngine:
-    """Executes a fault-injection plan with checkpointing and workers.
+    """Executes a fault-injection plan with checkpointing, workers and
+    (on a ``core="batched"`` machine) lockstep vectorization.
 
     ``CampaignEngine(machine, plan).run(workers=4,
     checkpoint_interval=64)`` returns the same :class:`CampaignResult`
@@ -125,61 +167,119 @@ class CampaignEngine:
         self.max_cycles = max_cycles if max_cycles is not None \
             else max(4 * self.golden.cycles + 256, 1024)
 
-    def run(self, workers=1, checkpoint_interval=None, progress=None):
+    def run(self, workers=1, checkpoint_interval=None, progress=None,
+            prune=None, batch_lanes=None):
         """Execute the whole plan; returns a :class:`CampaignResult`.
 
         ``workers`` > 1 forks that many processes; ``checkpoint_interval``
-        enables snapshot/resume at that cycle granularity; ``progress``
-        is an optional ``callable(done, total)`` invoked as runs retire.
+        enables snapshot/resume at that cycle granularity (auto-enabled
+        on a batched machine, which needs the snapshots as lane join
+        points); ``prune="liveness"`` pre-classifies provably
+        overwritten-before-read injections without simulation;
+        ``batch_lanes`` sets the lockstep lane count; ``progress`` is an
+        optional ``callable(done, total)`` invoked as runs retire.
         """
+        if prune not in PRUNE_MODES:
+            raise SimulationError(f"unknown prune mode {prune!r}")
+        if batch_lanes is not None and batch_lanes < 1:
+            raise SimulationError("lane count must be positive")
         start = time.perf_counter()
+        batched = (self.machine.core == "batched"
+                   and batch.numpy_available())
+        if batched and not checkpoint_interval:
+            checkpoint_interval = max(1, self.golden.cycles // 32)
         snapshots = None
         if checkpoint_interval:
             _, snapshots = self.machine.run_with_snapshots(
                 regs=self.regs, interval=checkpoint_interval,
                 max_cycles=self.max_cycles)
+        total = len(self.plan)
+        records = [None] * total
+        todo = list(range(total))
+        pruned = 0
+        if prune == "liveness" and todo:
+            pruner = LivenessPruner(self.machine.function, self.golden)
+            masked = (EFFECT_MASKED, self.golden.signature(),
+                      self.golden.byte_size())
+            remaining = []
+            for index in todo:
+                if pruner.provably_masked(self.plan[index].injection):
+                    records[index] = masked
+                else:
+                    remaining.append(index)
+            todo = remaining
+            pruned = total - len(todo)
+            if progress is not None and pruned:
+                progress(pruned, total)
+        classifier = None
+        if batched and todo and batch.batchable(
+                self.machine, self.golden, snapshots, self.max_cycles):
+            classifier = batch.BatchClassifier(
+                self.machine, self.plan, self.regs, self.golden,
+                snapshots, self.max_cycles,
+                lanes=batch_lanes or batch.DEFAULT_LANES)
         context = _WorkerContext(self.machine, self.plan, self.regs,
-                                 self.golden, snapshots, self.max_cycles)
-        if workers and workers > 1 and len(self.plan) > 1 \
+                                 self.golden, snapshots, self.max_cycles,
+                                 todo, classifier)
+        if workers and workers > 1 and len(todo) > 1 \
                 and "fork" in multiprocessing.get_all_start_methods():
-            records = self._run_parallel(context, workers, progress)
+            filled = self._run_parallel(context, workers, progress, pruned,
+                                        total)
         else:
-            records = self._run_serial(context, progress)
+            filled = self._run_serial(context, progress, pruned, total)
+        for index, record in zip(todo, filled):
+            records[index] = record
         result = CampaignResult(self.golden)
-        for planned, (effect, signature, byte_size) in zip(self.plan,
-                                                           records):
-            result.record(planned, effect, signature, byte_size)
+        for planned, record in zip(self.plan, records):
+            result.record(planned, *record)
+        result.pruned_runs = pruned
+        # Distinguishes the lockstep core actually engaging from the
+        # silent scalar fallback (NumPy missing, non-batchable setup).
+        # A plan fully pre-classified by pruning left nothing to
+        # vectorize, which is not a fallback.
+        result.vectorized = classifier is not None \
+            or (batched and not todo)
         result.wall_time = time.perf_counter() - start
         return result
 
-    def _run_serial(self, context, progress):
-        records = []
-        total = len(self.plan)
-        for index, planned in enumerate(self.plan):
-            records.append(context.classify(planned))
-            if progress is not None and (index + 1) % 64 == 0:
-                progress(index + 1, total)
+    def _run_serial(self, context, progress, prior, total):
+        adapted = None
+        if progress is not None:
+            def adapted(done, _subtotal):
+                progress(prior + done, total)
+        records = context.classify_indices(context.todo, progress=adapted)
         if progress is not None:
             progress(total, total)
         return records
 
-    def _run_parallel(self, context, workers, progress):
-        total = len(self.plan)
-        chunk = max(1, -(-total // (workers * _CHUNKS_PER_WORKER)))
-        bounds = [(low, min(low + chunk, total))
-                  for low in range(0, total, chunk)]
+    def _run_parallel(self, context, workers, progress, prior, total):
+        pending = len(context.todo)
+        # One strided chunk per worker when the batch classifier is on
+        # (each chunk pays one sweep down the golden trace), several
+        # when classification is scalar (cheap dispatch, finer pacing).
+        per_worker = 1 if context.classifier is not None \
+            else _CHUNKS_PER_WORKER
+        n_chunks = max(1, min(workers * per_worker, pending))
         try:
             pool = multiprocessing.get_context("fork").Pool(
-                processes=min(workers, len(bounds)),
+                processes=min(workers, n_chunks),
                 initializer=_init_worker, initargs=(context,))
         except OSError:
             # Process creation refused (sandbox, rlimits): same
             # results, just without the speedup.
-            return self._run_serial(context, progress)
-        records = []
+            return self._run_serial(context, progress, prior, total)
+        parts = [None] * n_chunks
+        done = 0
         with pool:
-            for part in pool.imap(_run_chunk, bounds):
-                records.extend(part)
+            chunks = [(index, n_chunks) for index in range(n_chunks)]
+            for index, part in enumerate(pool.imap(_run_chunk, chunks)):
+                parts[index] = part
+                done += len(part)
                 if progress is not None:
-                    progress(len(records), total)
+                    progress(prior + done, total)
+        # Un-deal the round-robin: part k holds records for pending
+        # indices k, k + n_chunks, k + 2*n_chunks, ... in order.
+        records = [None] * pending
+        for index, part in enumerate(parts):
+            records[index::n_chunks] = part
         return records

@@ -7,7 +7,7 @@ register is flipped after a given dynamic cycle, exactly the model the
 paper uses for its campaigns (one fault per run, faults persist until
 overwritten).
 
-Two execution cores share the machine's public API and produce
+Three execution cores share the machine's public API and produce
 bit-identical traces:
 
 * the **threaded core** (the default): registers live in a dense
@@ -20,7 +20,14 @@ bit-identical traces:
   tuple-tag interpreter, kept as the differential-testing oracle
   (``tests/fuzz/test_interp_differential.py``) and as the host of
   ``record_registers`` runs, whose per-cycle register dictionaries it
-  defines.
+  defines;
+* the **batched core** (``core="batched"``): a campaign-level core —
+  :class:`repro.fi.engine.CampaignEngine` executes the whole plan with
+  NumPy-vectorized lockstep lanes (:mod:`repro.fi.batch`, one lane per
+  planned injection along the golden path).  Single runs on a batched
+  machine (:meth:`Machine.run`, :meth:`Machine.run_from`) execute on
+  the threaded core, which is also where divergent lanes escape to,
+  so per-run semantics are by construction identical.
 
 All arithmetic is bit-accurate; the reference core routes it through
 :mod:`repro.ir.concrete`, the same definitions the static analyses use,
@@ -193,15 +200,19 @@ def _register_lists_match(current, reference):
 class Machine:
     """Executable image of one function plus a memory.
 
-    ``core`` selects the execution core: ``"threaded"`` (default) or
-    ``"reference"`` (the retained tuple-tag interpreter).  Both produce
-    bit-identical traces; campaign tooling should never need anything
-    but the default.
+    ``core`` selects the execution core: ``"threaded"`` (default),
+    ``"reference"`` (the retained tuple-tag interpreter) or
+    ``"batched"`` (lockstep-vectorized *campaign* execution — single
+    runs on such a machine use the threaded core).  All cores produce
+    bit-identical traces and campaign aggregates.
     """
+
+    #: Valid ``core`` arguments.
+    CORES = ("threaded", "reference", "batched")
 
     def __init__(self, function, memory_size=1 << 16, memory_image=None,
                  core="threaded"):
-        if core not in ("threaded", "reference"):
+        if core not in self.CORES:
             raise SimulationError(f"unknown execution core {core!r}")
         self.function = function
         self.width = function.bit_width

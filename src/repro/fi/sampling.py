@@ -143,6 +143,33 @@ def inject_on_read_population(function, trace, bec=None, liveness=None):
 # -- estimators ----------------------------------------------------------------
 
 
+def _batched_outcome_cache(machine, sampled, regs, golden, snapshots,
+                           max_cycles):
+    """Classify every unique sampled site in one lockstep pass
+    (:mod:`repro.fi.batch`) and return the ``key -> vulnerable`` cache
+    the sequential estimator loop would have built — same outcomes,
+    same number of simulator runs, a fraction of the wall clock.
+    Returns ``None`` when the setup is not batchable."""
+    from repro.fi import batch
+    from repro.fi.campaign import PlannedRun
+
+    if not (batch.numpy_available()
+            and batch.batchable(machine, golden, snapshots or [],
+                                max_cycles)):
+        return None
+    unique = {}
+    for site in sampled:
+        if not site.masked and site.key not in unique:
+            unique[site.key] = site.injection
+    plan = [PlannedRun(injection, None, None, None)
+            for injection in unique.values()]
+    classifier = batch.BatchClassifier(machine, plan, regs, golden,
+                                       snapshots, max_cycles)
+    records = classifier.classify_indices(range(len(plan)))
+    return {key: effect != EFFECT_MASKED
+            for key, (effect, _, _) in zip(unique, records)}
+
+
 def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
                  bec=None, golden=None, confidence=0.95,
                  checkpoint_interval=None):
@@ -154,7 +181,10 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
     which cuts simulator runs without changing the estimator's
     distribution.  With *checkpoint_interval* each simulator run resumes
     from the deepest golden-run snapshot before its injection cycle
-    (identical outcomes, shorter runs).
+    (identical outcomes, shorter runs).  On a ``core="batched"``
+    machine (with checkpointing) all unique sampled sites are
+    classified in one lockstep pass instead of one run at a time — the
+    estimate and ``simulator_runs`` are identical by construction.
     """
     if budget <= 0:
         raise ValueError("budget must be positive")
@@ -170,15 +200,20 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
     if not population:
         raise ValueError("empty fault population; nothing to sample")
     rng = random.Random(seed)
-    cache = {}
-    vulnerable = 0
+    sampled = [population[rng.randrange(len(population))]
+               for _ in range(budget)]
+    cache = None
     simulator_runs = 0
-    for _ in range(budget):
-        site = population[rng.randrange(len(population))]
-        if site.masked:
-            continue            # proven masked: never vulnerable
-        outcome = cache.get(site.key)
-        if outcome is None:
+    if machine.core == "batched" and snapshots:
+        cache = _batched_outcome_cache(machine, sampled, regs, golden,
+                                       snapshots, max_cycles)
+        if cache is not None:
+            simulator_runs = len(cache)
+    if cache is None:
+        cache = {}
+        for site in sampled:
+            if site.masked or site.key in cache:
+                continue
             if snapshots:
                 injected = run_injection(machine, site.injection, regs,
                                          snapshots, max_cycles)
@@ -186,11 +221,11 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
                 injected = machine.run(regs=regs,
                                        injection=site.injection,
                                        max_cycles=max_cycles)
-            outcome = classify_effect(golden, injected) != EFFECT_MASKED
-            cache[site.key] = outcome
+            cache[site.key] = classify_effect(golden, injected) \
+                != EFFECT_MASKED
             simulator_runs += 1
-        if outcome:
-            vulnerable += 1
+    vulnerable = sum(1 for site in sampled
+                     if not site.masked and cache[site.key])
     low, high = wilson_interval(vulnerable, budget, confidence=confidence)
     return AVFEstimate(avf=vulnerable / budget, low=low, high=high,
                        trials=budget, vulnerable=vulnerable,

@@ -26,6 +26,43 @@ OUTCOME_TIMEOUT = "timeout"
 TRAP_DETECTED = "detected-fault"
 
 
+class SignatureForge:
+    """Incremental form of :meth:`Trace.signature` for families of
+    traces that share an executed path, store records and outcome —
+    the lockstep-vectorized core's on-path lanes
+    (:mod:`repro.fi.batch`): the path prefix is hashed once and forked
+    per member with its own outputs and return value.
+    :meth:`Trace.signature` itself routes through this class, so the
+    digest's byte layout is defined in exactly one place.
+    """
+
+    __slots__ = ("_prefix", "_stores", "_suffix")
+
+    def __init__(self, executed, stores, outcome, trap_kind):
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(struct.pack("<q", len(executed)))
+        # Bulk pack: one struct call for the whole path (identical byte
+        # stream to packing "<i" per entry, ~10x fewer Python calls).
+        digest.update(struct.pack(f"<{len(executed)}i", *executed))
+        self._prefix = digest
+        blob = bytearray(b"|stores")
+        for address, value, size in stores:
+            blob += struct.pack("<qqB", address, value, size)
+        self._stores = bytes(blob)
+        self._suffix = outcome.encode() + (trap_kind or "").encode()
+
+    def signature(self, outputs, returned):
+        """Digest of the member trace with these *outputs*/*returned*."""
+        digest = self._prefix.copy()
+        digest.update(b"|outputs")
+        digest.update(struct.pack(f"<{len(outputs)}q", *outputs))
+        digest.update(self._stores)
+        digest.update(b"|ret")
+        digest.update(repr(returned).encode())
+        digest.update(self._suffix)
+        return digest.digest()
+
+
 class Trace:
     """Record of one (possibly fault-injected) program execution."""
 
@@ -71,23 +108,9 @@ class Trace:
 
     def signature(self):
         """Stable 16-byte digest of :meth:`key` (for archiving)."""
-        digest = hashlib.blake2b(digest_size=16)
-        executed = self.executed
-        digest.update(struct.pack("<q", len(executed)))
-        # Bulk pack: one struct call for the whole path (identical byte
-        # stream to packing "<i" per entry, ~10x fewer Python calls).
-        digest.update(struct.pack(f"<{len(executed)}i", *executed))
-        digest.update(b"|outputs")
-        outputs = self.outputs
-        digest.update(struct.pack(f"<{len(outputs)}q", *outputs))
-        digest.update(b"|stores")
-        for address, value, size in self.stores:
-            digest.update(struct.pack("<qqB", address, value, size))
-        digest.update(b"|ret")
-        digest.update(repr(self.returned).encode())
-        digest.update(self.outcome.encode())
-        digest.update((self.trap_kind or "").encode())
-        return digest.digest()
+        return SignatureForge(self.executed, self.stores, self.outcome,
+                              self.trap_kind).signature(self.outputs,
+                                                        self.returned)
 
     def byte_size(self):
         """Approximate archived size of the full trace in bytes

@@ -181,6 +181,12 @@ class TestEngineParityAcrossCores:
                               golden=motivating_golden)
         assert_identical(base, fast.run())
         assert_identical(base, fast.run(workers=4, checkpoint_interval=8))
+        batched = CampaignEngine(
+            Machine(motivating_function, memory_size=256, core="batched"),
+            plan, golden=motivating_golden)
+        assert_identical(base, batched.run())
+        assert_identical(base, batched.run(workers=4,
+                                           checkpoint_interval=8))
 
     def test_benchmark_campaign_identical_across_cores(self):
         run = benchmark_run("bitcount")

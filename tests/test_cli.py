@@ -114,6 +114,25 @@ class TestCampaign:
         output = capsys.readouterr().out
         assert "executed 5 runs" in output
 
+    def test_cores_agree(self, minic_file, capsys):
+        outputs = []
+        for core in ("threaded", "reference", "batched"):
+            assert main(["campaign", minic_file, "--mode", "exhaustive",
+                         "--execute", "60", "--core", core]) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append([line.split(": ", 1)[1] for line in lines
+                            if "executed 60 runs" in line
+                            or "distinguishable traces" in line])
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_batched_with_prune_and_lanes(self, minic_file, capsys):
+        assert main(["campaign", minic_file, "--mode", "exhaustive",
+                     "--execute", "80", "--core", "batched",
+                     "--prune", "liveness", "--batch-lanes", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "prune=liveness" in output
+        assert "runs pre-classified" in output
+
 
 class TestValidate:
     def test_clean_program(self, ir_file, capsys):
@@ -173,6 +192,14 @@ class TestSample:
         first = capsys.readouterr().out
         main(["sample", ir_file, "--budget", "40", "--seed", "3"])
         assert capsys.readouterr().out == first
+
+    def test_batched_core_identical_estimate(self, minic_file, capsys):
+        main(["sample", minic_file, "--budget", "60", "--seed", "5",
+              "--checkpoint-interval", "8"])
+        plain = capsys.readouterr().out
+        main(["sample", minic_file, "--budget", "60", "--seed", "5",
+              "--checkpoint-interval", "8", "--core", "batched"])
+        assert capsys.readouterr().out == plain
 
 
 class TestMemory:
