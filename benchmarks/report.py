@@ -12,6 +12,11 @@ machine-readable report produced on a quiet box:
                             (campaign-level speedup over the
                             checkpointed threaded engine).
 
+Sweep reports (``SWEEP_*.json``, written by ``repro sweep --json``)
+are rendered alongside them: grid shape, cache behaviour and the
+headline effect counts per cell — the nightly CI job reads its smoke
+grid back through this script.
+
 This script renders them all as one trajectory table::
 
     PYTHONPATH=src python benchmarks/report.py [--dir REPO_ROOT]
@@ -88,6 +93,34 @@ def report_campaign(data):
               f"cycles)")
 
 
+def report_sweep(data):
+    totals = data.get("totals", {})
+    print(f"  spec {data.get('spec', '?')}: {totals.get('cells', 0)} "
+          f"cells ({totals.get('cells_run', 0)} executed, "
+          f"{totals.get('cells_cached', 0)} from cache), "
+          f"{totals.get('simulator_runs', 0)} simulator runs in "
+          f"{totals.get('wall_time', 0.0):.2f}s")
+    stats = data.get("store_stats", {})
+    if stats:
+        print(f"  store: {stats.get('results', 0)} archived results "
+              f"({stats.get('archived_runs', 0)} runs, "
+              f"{stats.get('archived_wall_time', 0.0):.1f}s of "
+              f"simulation banked)")
+    cells = data.get("cells", [])
+    for cell in cells[:8]:
+        effects = cell.get("effects", {})
+        budget = cell.get("budget")
+        budget = "" if budget is None else f" budget={budget:.2f}"
+        print(f"    {cell.get('kernel', '?')} mode={cell.get('mode')} "
+              f"harden={cell.get('harden')}{budget} "
+              f"core={cell.get('core')}: {cell.get('plan_runs', 0)} "
+              f"runs, sdc={effects.get('sdc', 0)} "
+              f"detected={effects.get('detected', 0)} "
+              f"[{'hit' if cell.get('cached') else 'run'}]")
+    if len(cells) > 8:
+        print(f"    ... and {len(cells) - 8} more cells")
+
+
 #: filename -> (PR label, headline, renderer)
 KNOWN = {
     "BENCH_interp.json": ("PR 2", "threaded-code execution core",
@@ -98,27 +131,44 @@ KNOWN = {
                             report_campaign),
 }
 
+#: Sweep reports are named by their spec, so they are matched by
+#: prefix rather than listed in KNOWN.
+SWEEP_PREFIX = "SWEEP_"
+
+
+def _renderer_for(name):
+    """(PR label, headline, renderer) for a report file, or Nones."""
+    if name in KNOWN:
+        return KNOWN[name]
+    if name.startswith(SWEEP_PREFIX):
+        return ("PR 5", "content-addressed campaign store sweep",
+                report_sweep)
+    return (None, None, None)
+
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dir", default=None,
-                        help="directory holding BENCH_*.json (default: "
-                             "the repository root above this script)")
+                        help="directory holding BENCH_*.json / "
+                             "SWEEP_*.json (default: the repository "
+                             "root above this script)")
     options = parser.parse_args(argv)
     root = options.dir or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     names = sorted(name for name in os.listdir(root)
-                   if name.startswith("BENCH_") and name.endswith(".json"))
+                   if (name.startswith("BENCH_")
+                       or name.startswith(SWEEP_PREFIX))
+                   and name.endswith(".json"))
     if not names:
-        print(f"no BENCH_*.json reports under {root}", file=sys.stderr)
+        print(f"no BENCH_*.json / SWEEP_*.json reports under {root}",
+              file=sys.stderr)
         return 1
     print(f"perf trajectory ({len(names)} reports under {root}):\n")
     ordered = sorted(
-        names, key=lambda name: KNOWN.get(name, ("PR ?",))[0])
+        names, key=lambda name: (_renderer_for(name)[0] or "PR ?", name))
     for name in ordered:
         data = _load(os.path.join(root, name))
-        label, headline, renderer = KNOWN.get(
-            name, (None, None, None))
+        label, headline, renderer = _renderer_for(name)
         if renderer is None:
             print(f"{name}: (unrecognized schema; keys: "
                   f"{', '.join(sorted(data)[:8])})")

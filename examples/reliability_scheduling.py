@@ -14,9 +14,9 @@ Run with::
 from repro.bench.programs import compile_benchmark, get_benchmark
 from repro.bec import run_bec
 from repro.fi import Machine
-from repro.sched import (BestReliability, OriginalOrder,
-                         WorstReliability, live_fault_sites,
-                         schedule_function, total_fault_space)
+from repro.sched import (BestReliability, WorstReliability,
+                         live_fault_sites, schedule_function,
+                         total_fault_space)
 
 
 def evaluate(function, memory_image, regs):

@@ -1,15 +1,20 @@
 """Setuptools configuration for the ``src/`` layout.
 
-Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
-``pip install -e . --no-build-isolation`` works without network access —
-the environment's pip cannot fetch PEP 517 build dependencies.
+Package metadata lives here; ``pyproject.toml`` carries only the
+PEP 517 build-system declaration and the ruff configuration.
+``pip install -e . --no-build-isolation`` works wherever setuptools
+and ``wheel`` are present; fully offline environments without
+``wheel`` run straight from the source tree instead
+(``PYTHONPATH=src``, as the tier-1 test command does).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-bec",
-    version="0.1.0",
+    # Keep in lockstep with repro.__version__ (`repro --version` reports
+    # the installed metadata and falls back to the package stamp).
+    version="1.0.0",
     description=("Reproduction of 'BEC: Bit-Level Static Analysis for "
                  "Reliability against Soft Errors' (Ko & Burgstaller, "
                  "CGO 2024): bit-level liveness/equivalence analysis, "

@@ -16,6 +16,8 @@ Public API overview:
 * :mod:`repro.bench` — the benchmark programs and the paper's worked
   examples.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.store` — content-addressed campaign-result store and the
+  ``repro sweep`` grid orchestrator.
 """
 
 __version__ = "1.0.0"

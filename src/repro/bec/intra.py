@@ -23,7 +23,6 @@ an ``eval``-vs-fault-free masking rule for comparisons.  Both are off by
 default so the default configuration matches the paper exactly.
 """
 
-from repro.ir.concrete import mask as width_mask
 from repro.ir.instructions import Format, Opcode
 from repro.ir.registers import ZERO
 from repro.bitvalue.lattice import BitVector

@@ -15,10 +15,16 @@ Usage (``python -m repro <command> ...``)::
     sample   FILE.{mc,ir} [--budget N] [--bec] statistical AVF estimate
     memory   FILE.{mc,ir} [--execute]          memory-cell fault space
     fuzz     [--count N] [--seed N]            random-program soundness
+    sweep    SPEC.{toml,json} --store DB       cached campaign grid
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
-entry function's parameter registers.  ``run``, ``analyze``,
+entry function's parameter registers.  ``sweep`` expands a declarative
+TOML/JSON grid spec (kernels × fault models × protection policies ×
+budgets × cores) against a content-addressed result store
+(:mod:`repro.store`): cells already archived are skipped, the rest are
+sharded across processes, and interrupted sweeps resume.  ``campaign
+--store DB`` gives a single campaign the same treatment.  ``run``, ``analyze``,
 ``campaign``, ``sample`` and ``harden`` accept the same ``-O{0,1,2}`` /
 ``--no-opt`` optimization knobs as ``compile``, so analyses and
 campaigns can run at a matching optimization level.
@@ -29,6 +35,7 @@ import sys
 
 from repro.bec.analysis import run_bec
 from repro.bec.intra import RuleSet
+from repro.errors import ReproError
 from repro.fi.accounting import fault_injection_accounting
 from repro.fi.campaign import (plan_bec, plan_exhaustive,
                                plan_inject_on_read, run_campaign)
@@ -177,12 +184,29 @@ def cmd_campaign(options):
                 print(f"\r  {done}/{total} runs", end="",
                       file=sys.stderr, flush=True)
         prune = None if options.prune == "none" else options.prune
-        result = run_campaign(machine, slice_,
-                              regs=_initial_regs(program, options.args),
-                              golden=golden, workers=options.workers,
-                              checkpoint_interval=options.checkpoint_interval,
-                              progress=progress, prune=prune,
-                              batch_lanes=options.batch_lanes)
+        if options.store:
+            from repro.store import CachingRunner, ResultStore
+
+            with ResultStore(options.store) as store:
+                runner = CachingRunner(store)
+                result = runner.run(
+                    machine, slice_,
+                    regs=_initial_regs(program, options.args),
+                    golden=golden, workers=options.workers,
+                    checkpoint_interval=options.checkpoint_interval,
+                    progress=progress, prune=prune,
+                    batch_lanes=options.batch_lanes,
+                    harden=options.harden, budget=options.budget)
+            if result.cached:
+                print(f"store hit: replayed archived aggregates from "
+                      f"{options.store}")
+        else:
+            result = run_campaign(machine, slice_,
+                                  regs=_initial_regs(program, options.args),
+                                  golden=golden, workers=options.workers,
+                                  checkpoint_interval=options.checkpoint_interval,
+                                  progress=progress, prune=prune,
+                                  batch_lanes=options.batch_lanes)
         if options.progress:
             print(file=sys.stderr)
         core_label = options.core
@@ -353,6 +377,56 @@ def cmd_fuzz(options):
     return 0
 
 
+def cmd_sweep(options):
+    from repro.store import ResultStore, load_spec, run_sweep
+
+    if options.workers is not None and options.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    try:
+        spec = load_spec(options.spec)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load sweep spec: {error}")
+    progress = None
+    if options.progress:
+        def progress(done, total, outcome):
+            cell = outcome.cell
+            label = "hit " if outcome.cached else "run "
+            budget = "" if cell.budget is None \
+                else f" budget={cell.budget:.2f}"
+            print(f"  [{done}/{total}] {label} {cell.kernel} "
+                  f"mode={cell.mode} harden={cell.harden}{budget} "
+                  f"core={cell.core} ({outcome.plan_runs} runs)",
+                  file=sys.stderr)
+    with ResultStore(options.store) as store:
+        try:
+            report = run_sweep(spec, store, workers=options.workers,
+                               force=options.force, progress=progress)
+        except (KeyError, OSError, ValueError, RuntimeError,
+                ReproError) as error:
+            # Unknown registry kernel, unreadable/uncompilable kernel
+            # file, an args/params mismatch, or a failed golden run.
+            # Cells finished before the failure are already archived,
+            # so a corrected re-run resumes from them.
+            raise SystemExit(f"sweep failed: {error}")
+        stats = store.stats()
+    print(report.summary())
+    print(f"store {options.store}: {stats['results']} archived results "
+          f"({stats['archived_runs']} runs, "
+          f"{stats['archived_wall_time']:.1f}s of simulation)")
+    if options.json:
+        import json
+
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {options.json}")
+    if options.markdown:
+        with open(options.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown())
+        print(f"wrote {options.markdown}")
+    return 0
+
+
 def cmd_dot(options):
     from repro.ir.dot import cfg_to_dot, ddg_to_dot
 
@@ -396,11 +470,26 @@ def cmd_schedule(options):
     return 0
 
 
+def _package_version():
+    """The installed distribution's version, falling back to the
+    package's own stamp when running from a source tree."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro-bec")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BEC bit-level reliability analysis (CGO 2024 "
                     "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add(name, handler, **kwargs):
@@ -475,6 +564,10 @@ def build_parser():
                           "(default 256)")
     sub.add_argument("--progress", action="store_true",
                      help="print a progress line to stderr")
+    sub.add_argument("--store", metavar="DB", default=None,
+                     help="content-addressed result store: serve the "
+                          "executed campaign from DB when its cell is "
+                          "archived, archive it otherwise")
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
@@ -540,6 +633,31 @@ def build_parser():
     sub.add_argument("--bec", action="store_true",
                      help="annotate CFG nodes with unmasked-bit counts")
     sub.add_argument("-o", "--output")
+
+    sub = commands.add_parser(
+        "sweep",
+        help="expand a campaign grid spec against the result store")
+    sub.set_defaults(handler=cmd_sweep)
+    sub.add_argument("spec",
+                     help="grid spec (.toml on Python >= 3.11, or the "
+                          "same structure as .json)")
+    sub.add_argument("--store", metavar="DB",
+                     default=".repro-store.sqlite",
+                     help="content-addressed result store "
+                          "(default: .repro-store.sqlite)")
+    sub.add_argument("--workers", type=int, default=None,
+                     help="worker processes for cache misses "
+                          "(default: the spec's engine.workers)")
+    sub.add_argument("--force", action="store_true",
+                     help="re-execute every cell even on a warm store "
+                          "(results are re-archived)")
+    sub.add_argument("--json", metavar="PATH",
+                     help="write the consolidated report as JSON "
+                          "(read by benchmarks/report.py)")
+    sub.add_argument("--markdown", metavar="PATH",
+                     help="write the consolidated report as markdown")
+    sub.add_argument("--progress", action="store_true",
+                     help="print one line per finished cell to stderr")
 
     sub = commands.add_parser(
         "fuzz", help="random-program differential soundness check")

@@ -11,6 +11,14 @@ defaults (e.g. ``REPRO_CORE=batched REPRO_CHECKPOINT_INTERVAL=64`` to
 speed up ``python -m repro.experiments`` with the lockstep core)
 without changing any experiment's results — the engine guarantees
 bit-identical aggregates.
+
+``REPRO_STORE=<path>`` (or :func:`set_store`) binds the harnesses to a
+content-addressed result store (:mod:`repro.store`): every campaign a
+harness runs is then served from the store when its cell is already
+archived, which makes ``--regen-report`` incremental — near-instant on
+a warm store, bit-identical aggregates either way (cached results
+replay the archived per-run records, including the original execution's
+wall time, so even the time columns reproduce).
 """
 
 import os
@@ -27,6 +35,40 @@ def _env_int(name, default):
         return int(os.environ.get(name, ""))
     except ValueError:
         return default
+
+
+_runner = None
+_store_configured = False
+
+
+def _bind_store(path):
+    global _runner
+    if _runner is not None:
+        if path == _runner.store.path:
+            return
+        _runner.store.close()
+        _runner = None
+    if path is not None:
+        from repro.store import CachingRunner, ResultStore
+
+        _runner = CachingRunner(ResultStore(path))
+
+
+def set_store(path):
+    """Bind every harness in this process to the result store at
+    *path* (``None`` turns caching off).  ``REPRO_STORE`` is the
+    environment-variable equivalent; an explicit call wins over it."""
+    global _store_configured
+    _store_configured = True
+    _bind_store(path)
+
+
+def campaign_runner():
+    """The process-wide :class:`repro.store.CachingRunner`, or ``None``
+    when no store is configured (then campaigns always execute)."""
+    if not _store_configured:
+        _bind_store(os.environ.get("REPRO_STORE") or None)
+    return _runner
 
 
 class BenchmarkRun:
@@ -52,16 +94,24 @@ class BenchmarkRun:
 
         ``workers``/``checkpoint_interval`` default to the
         ``REPRO_WORKERS`` / ``REPRO_CHECKPOINT_INTERVAL`` environment
-        variables (serial, uncheckpointed when unset).
+        variables (serial, uncheckpointed when unset).  With a bound
+        result store (``REPRO_STORE`` / :func:`set_store`) the plan is
+        served from the store when its cell is archived.
         """
         if workers is None:
             workers = _env_int("REPRO_WORKERS", 1)
         if checkpoint_interval is None:
             checkpoint_interval = _env_int("REPRO_CHECKPOINT_INTERVAL", 0)
+        golden = self.golden if golden is None else golden
+        runner = campaign_runner()
+        if runner is not None:
+            return runner.run(self.machine, plan, regs=self.regs,
+                              golden=golden, max_cycles=max_cycles,
+                              workers=workers,
+                              checkpoint_interval=checkpoint_interval
+                              or None)
         engine = CampaignEngine(self.machine, plan, regs=self.regs,
-                                golden=self.golden if golden is None
-                                else golden,
-                                max_cycles=max_cycles)
+                                golden=golden, max_cycles=max_cycles)
         return engine.run(workers=workers,
                           checkpoint_interval=checkpoint_interval or None)
 

@@ -78,6 +78,10 @@ def plan_bec(function, trace, bec):
 class CampaignResult:
     """Outcome of a campaign: per-run effects plus aggregate stats."""
 
+    #: True on results decoded from :mod:`repro.store` instead of
+    #: being executed (the store's subclass overrides this).
+    cached = False
+
     def __init__(self, golden):
         self.golden = golden
         self.runs = []            # (PlannedRun, effect, signature)
@@ -94,6 +98,11 @@ class CampaignResult:
     @property
     def distinct_traces(self):
         return len(self._distinct)
+
+    def trace_sizes(self):
+        """``signature -> archived byte size`` for every
+        distinguishable trace (the store serializes this)."""
+        return dict(self._distinct)
 
     @property
     def archived_bytes(self):

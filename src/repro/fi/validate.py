@@ -47,7 +47,6 @@ def validate_bec(function, machine, bec, regs=None, golden=None,
         max_cycles = max(4 * golden.cycles + 256, 1024)
     golden_signature = golden.signature()
 
-    signatures = {}
     groups = {}
     instances = 0
     masked_checked = 0

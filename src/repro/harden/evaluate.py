@@ -49,9 +49,12 @@ def strided_plan(function, golden, target_runs):
 def run_variant(function, strategy, plan, golden, regs=None,
                 memory_image=None, memory_size=1 << 16, bec=None,
                 budget=0.3, workers=1, checkpoint_interval=None,
-                core="threaded"):
+                core="threaded", runner=None):
     """Harden with *strategy*, replay *plan* against it; returns a
     :class:`VariantOutcome`.
+
+    *runner* (a :class:`repro.store.CachingRunner`) serves the mapped
+    campaign from the result store when its cell is archived.
 
     *plan* and *golden* belong to the original *function*; the plan is
     translated through the hardened golden trace before execution.  The
@@ -75,10 +78,16 @@ def run_variant(function, strategy, plan, golden, regs=None,
             f"({strategy}: {len(projected)} vs {len(golden.executed)} "
             f"original instructions)")
     mapped = result.map_plan(plan, hardened_golden)
-    engine = CampaignEngine(machine, mapped, regs=regs,
-                            golden=hardened_golden)
-    campaign = engine.run(workers=workers,
-                          checkpoint_interval=checkpoint_interval)
+    if runner is not None:
+        campaign = runner.run(machine, mapped, regs=regs,
+                              golden=hardened_golden, workers=workers,
+                              checkpoint_interval=checkpoint_interval,
+                              harden=strategy, budget=budget)
+    else:
+        engine = CampaignEngine(machine, mapped, regs=regs,
+                                golden=hardened_golden)
+        campaign = engine.run(workers=workers,
+                              checkpoint_interval=checkpoint_interval)
     overhead = hardened_golden.cycles / golden.cycles - 1 \
         if golden.cycles else 0.0
     from repro.harden.select import eligible_pps
@@ -102,7 +111,7 @@ def ladder_comparison(function, golden, regs=None, memory_image=None,
                       memory_size=1 << 16, bec=None,
                       budgets=(0.3, 0.6, 0.85), target_runs=160,
                       workers=1, checkpoint_interval=None,
-                      coverage_target=0.9):
+                      coverage_target=0.9, runner=None):
     """The shared evaluation protocol of ``experiments/protection.py``
     and ``benchmarks/bench_harden.py``: one strided fault plan replayed
     against baseline, full duplication and ``bec`` at a ladder of
@@ -123,7 +132,8 @@ def ladder_comparison(function, golden, regs=None, memory_image=None,
     plan = strided_plan(function, golden, target_runs)
     common = dict(regs=regs, memory_image=memory_image,
                   memory_size=memory_size, bec=bec, workers=workers,
-                  checkpoint_interval=checkpoint_interval)
+                  checkpoint_interval=checkpoint_interval,
+                  runner=runner)
     baseline = run_variant(function, "none", plan, golden, **common)
     full = run_variant(function, "full", plan, golden, **common)
     full_converted = count_conversions(baseline, full)
@@ -165,7 +175,8 @@ def compare_protection(function, golden, regs=None, memory_image=None,
                        target_runs=240, workers=1,
                        checkpoint_interval=None, strategies=("none",
                                                              "full",
-                                                             "bec")):
+                                                             "bec"),
+                       runner=None):
     """Run the full three-way comparison; returns a
     :class:`ProtectionComparison` whose ``variants`` dict maps strategy
     name to :class:`VariantOutcome` and whose ``conversions`` dict maps
@@ -179,7 +190,7 @@ def compare_protection(function, golden, regs=None, memory_image=None,
             function, strategy, plan, golden, regs=regs,
             memory_image=memory_image, memory_size=memory_size, bec=bec,
             budget=budget, workers=workers,
-            checkpoint_interval=checkpoint_interval)
+            checkpoint_interval=checkpoint_interval, runner=runner)
     baseline = variants["none"]
     conversions = {strategy: count_conversions(baseline, outcome)
                    for strategy, outcome in variants.items()

@@ -25,7 +25,6 @@ import random
 
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
-from repro.ir.registers import ZERO
 
 #: Opcode pools by shape.  div/rem are included: the ISA defines
 #: division by zero (no trap), so any operand values are safe.

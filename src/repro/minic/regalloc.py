@@ -101,7 +101,6 @@ def allocate_registers(function, pool=None, spill_base=0,
     precolored = {param: arg_regs[index]
                   for index, param in enumerate(function.params)}
     intervals = _compute_intervals(function)
-    by_reg = {interval.reg: interval for interval in intervals}
 
     free = [reg for reg in pool]
     active = []

@@ -1,0 +1,175 @@
+"""SQLite-backed content-addressed store of campaign results.
+
+One row per cache key (:func:`repro.store.keys.campaign_key`): the
+full per-run record list — effects *and* trace signatures, so pairwise
+consumers like :func:`repro.harden.evaluate.count_conversions` work
+identically on cached results — plus provenance (wall time of the
+original execution, host, package version, creation time).
+
+The store is a plain file; concurrent sweeps on one host are safe
+because every write is a single ``INSERT``-or-replace of an immutable
+payload under its content address (two writers racing on one key write
+the same aggregates by the engine's parity invariants).
+"""
+
+import json
+import os
+import platform
+import sqlite3
+from datetime import datetime, timezone
+
+import repro
+from repro.fi.campaign import CampaignResult, PlannedRun
+from repro.fi.machine import Injection
+from repro.store.keys import SCHEMA_VERSION
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaign_results (
+    key            TEXT PRIMARY KEY,
+    schema_version INTEGER NOT NULL,
+    payload        TEXT NOT NULL,
+    n_runs         INTEGER NOT NULL,
+    wall_time      REAL NOT NULL,
+    host           TEXT NOT NULL,
+    repro_version  TEXT NOT NULL,
+    created_at     TEXT NOT NULL
+)
+"""
+
+
+class CachedCampaignResult(CampaignResult):
+    """A :class:`CampaignResult` decoded from the store.
+
+    Indistinguishable from a freshly executed result for every
+    aggregate consumer — ``runs``, ``effect_counts()``,
+    ``distinct_traces``, ``archived_bytes``, ``vulnerable_runs()`` —
+    except that ``cached`` is true and ``golden`` is ``None`` (the
+    golden trace is not archived; recompute it if you need it).
+    ``wall_time`` reports the wall time of the *original* execution,
+    so time-reporting consumers render the same numbers either way.
+    """
+
+    cached = True
+
+
+def encode_result(result):
+    """JSON payload for one result (schema :data:`SCHEMA_VERSION`)."""
+    sizes = {signature.hex(): size
+             for signature, size in result.trace_sizes().items()}
+    runs = []
+    for planned, effect, signature in result.runs:
+        runs.append([planned.injection.cycle, planned.injection.reg,
+                     planned.injection.bit, planned.pp, planned.rep,
+                     planned.epoch, effect, signature.hex()])
+    return json.dumps({
+        "runs": runs,
+        "sizes": sizes,
+        "pruned_runs": result.pruned_runs,
+        "vectorized": result.vectorized,
+        "wall_time": result.wall_time,
+    }, sort_keys=True, separators=(",", ":"))
+
+
+def decode_result(payload):
+    """Rebuild a :class:`CachedCampaignResult` from a stored payload."""
+    data = json.loads(payload)
+    sizes = data["sizes"]
+    result = CachedCampaignResult(golden=None)
+    for cycle, reg, bit, pp, rep, epoch, effect, signature_hex \
+            in data["runs"]:
+        signature = bytes.fromhex(signature_hex)
+        result.record(PlannedRun(Injection(cycle, reg, bit), pp, rep,
+                                 epoch),
+                      effect, signature, sizes[signature_hex])
+    result.pruned_runs = data["pruned_runs"]
+    result.vectorized = data["vectorized"]
+    result.wall_time = data["wall_time"]
+    return result
+
+
+class ResultStore:
+    """Content-addressed campaign-result store backed by SQLite."""
+
+    def __init__(self, path):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(_SCHEMA)
+        self._connection.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        self._connection.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key):
+        """The cached result for *key*, or ``None`` on a miss (also
+        when the entry was written by an incompatible schema)."""
+        row = self._connection.execute(
+            "SELECT schema_version, payload FROM campaign_results "
+            "WHERE key = ?", (key,)).fetchone()
+        if row is None or row[0] != SCHEMA_VERSION:
+            return None
+        return decode_result(row[1])
+
+    def put(self, key, result):
+        """Archive *result* under *key* with provenance."""
+        self._connection.execute(
+            "INSERT OR REPLACE INTO campaign_results "
+            "(key, schema_version, payload, n_runs, wall_time, host, "
+            " repro_version, created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (key, SCHEMA_VERSION, encode_result(result),
+             len(result.runs), result.wall_time, platform.node(),
+             repro.__version__,
+             datetime.now(timezone.utc).isoformat()))
+        self._connection.commit()
+
+    def provenance(self, key):
+        """Provenance dict for *key* (``None`` when absent)."""
+        row = self._connection.execute(
+            "SELECT n_runs, wall_time, host, repro_version, created_at, "
+            "schema_version FROM campaign_results WHERE key = ?",
+            (key,)).fetchone()
+        if row is None:
+            return None
+        return {"n_runs": row[0], "wall_time": row[1], "host": row[2],
+                "repro_version": row[3], "created_at": row[4],
+                "schema_version": row[5]}
+
+    def __contains__(self, key):
+        row = self._connection.execute(
+            "SELECT 1 FROM campaign_results WHERE key = ? "
+            "AND schema_version = ?", (key, SCHEMA_VERSION)).fetchone()
+        return row is not None
+
+    def __len__(self):
+        """Number of results readable under the current schema (rows
+        written by an incompatible schema are invisible here, exactly
+        as they are to :meth:`get` and ``in``)."""
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM campaign_results "
+            "WHERE schema_version = ?", (SCHEMA_VERSION,)).fetchone()
+        return count
+
+    def keys(self):
+        return [key for (key,) in self._connection.execute(
+            "SELECT key FROM campaign_results WHERE schema_version = ? "
+            "ORDER BY created_at", (SCHEMA_VERSION,))]
+
+    def stats(self):
+        """Aggregate store statistics for reporting."""
+        row = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(n_runs), 0), "
+            "COALESCE(SUM(wall_time), 0.0) FROM campaign_results "
+            "WHERE schema_version = ?", (SCHEMA_VERSION,)).fetchone()
+        return {"results": row[0], "archived_runs": row[1],
+                "archived_wall_time": row[2]}

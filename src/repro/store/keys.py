@@ -1,0 +1,97 @@
+"""Content-addressed cache keys for campaign results.
+
+A campaign's aggregates are a pure function of *what* is simulated —
+the program, its inputs, the fault plan — and of the handful of engine
+knobs that select genuinely different semantics (the hardening
+transform baked into the program, the effect-class bookkeeping of
+``prune``, the timeout budget).  They are **not** a function of *how*
+the simulation is scheduled: PR 1-4's parity invariants guarantee
+bit-identical aggregates across ``workers``, ``checkpoint_interval``
+and ``batch_lanes``, so those knobs are deliberately excluded from the
+key — a result produced by one schedule is valid under every other.
+
+:func:`campaign_key` digests the canonical JSON encoding of
+
+* the serialized IR (:func:`repro.ir.printer.format_function` — the
+  same text the parser round-trips, so two structurally identical
+  functions share a key however they were built),
+* the machine image (memory image bytes, memory size),
+* the initial register values,
+* the fault plan (one ``[cycle, reg, bit, pp, rep, epoch]`` row per
+  planned run, in plan order),
+* the engine config (:func:`canonical_config`).
+
+Bump :data:`SCHEMA_VERSION` whenever the key recipe or the stored
+payload layout changes; old store entries then miss cleanly instead of
+decoding garbage.
+"""
+
+import hashlib
+import json
+
+from repro.errors import SimulationError
+from repro.ir.printer import format_function
+
+#: Version stamp of both the key recipe and the payload layout.
+SCHEMA_VERSION = 1
+
+#: Engine knobs excluded from the key: campaign aggregates are
+#: bit-identical across them (the engine's parity invariants), so one
+#: cached result serves every setting.
+PARITY_KNOBS = ("workers", "checkpoint_interval", "batch_lanes")
+
+#: Engine knobs that *do* participate in the key.
+KEY_KNOBS = ("core", "prune", "harden", "budget", "max_cycles")
+
+
+def canonical_config(config=None):
+    """Normalize an engine-config dict for keying.
+
+    Accepts the :data:`KEY_KNOBS` (missing ones default) and silently
+    drops the :data:`PARITY_KNOBS`; any other key is an error, so a
+    future knob must make an explicit appearance in one of the two
+    lists before results made with it can be cached.
+    """
+    config = dict(config or {})
+    for knob in PARITY_KNOBS:
+        config.pop(knob, None)
+    unknown = set(config) - set(KEY_KNOBS)
+    if unknown:
+        raise SimulationError(
+            f"unknown engine-config keys for the result store: "
+            f"{sorted(unknown)} (add them to KEY_KNOBS or PARITY_KNOBS)")
+    harden = config.get("harden") or "none"
+    return {
+        "core": config.get("core") or "threaded",
+        "prune": config.get("prune") or "none",
+        "harden": harden,
+        # The budget only shapes the transform under the bec strategy.
+        "budget": config.get("budget") if harden == "bec" else None,
+        "max_cycles": config.get("max_cycles") or "auto",
+    }
+
+
+def plan_rows(plan):
+    """Canonical JSON-safe rows for a fault plan, in plan order."""
+    return [[planned.injection.cycle, planned.injection.reg,
+             planned.injection.bit, planned.pp, planned.rep,
+             planned.epoch]
+            for planned in plan]
+
+
+def campaign_key(function, plan, regs=None, memory_image=None,
+                 memory_size=1 << 16, config=None):
+    """Hex digest addressing one campaign cell in the store."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "function": format_function(function),
+        "memory_image": bytes(memory_image or b"").hex(),
+        "memory_size": memory_size,
+        "regs": sorted((reg, int(value))
+                       for reg, value in (regs or {}).items()),
+        "plan": plan_rows(plan),
+        "config": canonical_config(config),
+    }
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

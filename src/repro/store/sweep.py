@@ -1,0 +1,278 @@
+"""``repro sweep`` — grid orchestration over the result store.
+
+Expands a :class:`repro.store.spec.SweepSpec` into cells
+(kernel × fault model × protection policy × budget × core), computes
+each cell's content address, returns archived results for hits and
+shards the misses across processes through the campaign engine
+(:class:`repro.store.runner.CachingRunner`).  Because every finished
+cell is committed to the store individually, an interrupted sweep
+resumes for free: re-running the same spec against the same store
+re-executes only the missing cells, and a fully warm store re-runs
+zero (``SweepReport.simulator_runs == 0``).
+
+Kernels are either names from the evaluation-benchmark registry
+(:mod:`repro.bench.programs`) or paths to ``.mc``/``.ir`` files, so
+smoke grids in CI and tests can sweep tiny programs.
+"""
+
+import time
+from collections import namedtuple
+
+from repro.bec.analysis import run_bec
+from repro.fi.campaign import (plan_bec, plan_exhaustive,
+                               plan_inject_on_read)
+from repro.fi.machine import Machine
+from repro.store.runner import CachingRunner
+
+#: One finished (or cache-hit) grid cell.
+CellOutcome = namedtuple(
+    "CellOutcome",
+    ["cell", "key", "cached", "plan_runs", "pruned_runs", "effects",
+     "distinct_traces", "archived_bytes", "wall_time", "golden_cycles",
+     "overhead"])
+
+_PLANNERS = {
+    "bec": lambda function, golden, bec: plan_bec(function, golden, bec),
+    "ior": lambda function, golden, bec: plan_inject_on_read(function,
+                                                             golden),
+    "exhaustive": lambda function, golden, bec: plan_exhaustive(function,
+                                                                golden),
+}
+
+
+def _load_kernel(ref):
+    """(function, memory_image, regs) for a
+    :class:`repro.store.spec.KernelRef` — a registry name or a
+    ``.mc``/``.ir`` path, with optional entry-function args."""
+    if ref.target.endswith(".ir"):
+        from repro.ir.parser import parse_function
+        with open(ref.target, encoding="utf-8") as handle:
+            function = parse_function(handle.read())
+        params = list(function.params)
+        if len(ref.args) != len(params):
+            raise ValueError(
+                f"{ref.label}: program expects {len(params)} arguments "
+                f"({', '.join(params)}), spec gives {len(ref.args)}")
+        return function, b"", dict(zip(params, ref.args))
+    if ref.target.endswith(".mc"):
+        from repro.minic.compiler import compile_source
+        with open(ref.target, encoding="utf-8") as handle:
+            program = compile_source(handle.read())
+        return (program.function, program.memory_image,
+                program.initial_regs(*ref.args))
+    from repro.bench.programs import compile_benchmark, get_benchmark
+    benchmark = get_benchmark(ref.target)
+    program = compile_benchmark(ref.target)
+    return (program.function, program.memory_image,
+            program.initial_regs(*(ref.args or benchmark.args)))
+
+
+class SweepRunner:
+    """Executes one spec against one store."""
+
+    def __init__(self, spec, store, workers=None, force=False):
+        self.spec = spec
+        self.store = store
+        self.workers = spec.workers if workers is None else workers
+        self.runner = CachingRunner(store, force=force)
+        self._kernels = {}    # name -> (function, memory_image, regs)
+        self._variants = {}   # (name, harden, budget) -> variant dict
+        self._plans = {}      # (variant key, mode) -> plan
+
+    def _kernel(self, label):
+        if label not in self._kernels:
+            ref = self.spec.kernel_refs.get(label)
+            if ref is None:     # a hand-built spec without the ref map
+                from repro.store.spec import _kernel_ref
+
+                ref = _kernel_ref(label)
+            self._kernels[label] = _load_kernel(ref)
+        return self._kernels[label]
+
+    def _variant(self, name, strategy, budget):
+        """The (possibly hardened) program of a cell, with its golden
+        trace and BEC analysis (shared across cores and fault models)."""
+        key = (name, strategy, budget)
+        if key in self._variants:
+            return self._variants[key]
+        function, memory_image, regs = self._kernel(name)
+        if strategy != "none":
+            from repro.harden import harden
+
+            base = self._variant(name, "none", None)
+            result = harden(function, strategy,
+                            budget=0.3 if budget is None else budget,
+                            golden=base["golden"], bec=base["bec"])
+            function = result.function
+        machine = Machine(function, memory_image=memory_image)
+        golden = machine.run(regs=regs)
+        if golden.outcome != "ok":
+            raise RuntimeError(
+                f"{name} [{strategy}]: golden run failed "
+                f"({golden.outcome})")
+        variant = {"function": function, "memory_image": memory_image,
+                   "regs": regs, "golden": golden,
+                   "bec": run_bec(function)}
+        self._variants[key] = variant
+        return variant
+
+    def _plan(self, cell, variant):
+        key = (cell.kernel, cell.harden, cell.budget, cell.mode)
+        if key not in self._plans:
+            plan = _PLANNERS[cell.mode](variant["function"],
+                                        variant["golden"],
+                                        variant["bec"])
+            if self.spec.max_runs is not None:
+                plan = plan[:self.spec.max_runs]
+            self._plans[key] = plan
+        return self._plans[key]
+
+    def run_cell(self, cell):
+        variant = self._variant(cell.kernel, cell.harden, cell.budget)
+        plan = self._plan(cell, variant)
+        machine = Machine(variant["function"],
+                          memory_image=variant["memory_image"],
+                          core=cell.core)
+        result = self.runner.run(
+            machine, plan, regs=variant["regs"],
+            golden=variant["golden"], workers=self.workers,
+            checkpoint_interval=self.spec.checkpoint_interval or None,
+            prune=self.spec.prune, batch_lanes=self.spec.batch_lanes,
+            harden=cell.harden, budget=cell.budget)
+        overhead = None
+        if cell.harden != "none":
+            base = self._variant(cell.kernel, "none", None)["golden"]
+            if base.cycles:
+                overhead = variant["golden"].cycles / base.cycles - 1
+        return CellOutcome(
+            cell=cell, key=self.runner.last_key,
+            cached=result.cached, plan_runs=len(plan),
+            pruned_runs=result.pruned_runs,
+            effects=result.effect_counts(),
+            distinct_traces=result.distinct_traces,
+            archived_bytes=result.archived_bytes,
+            wall_time=result.wall_time,
+            golden_cycles=variant["golden"].cycles, overhead=overhead)
+
+    def run(self, progress=None):
+        start = time.perf_counter()
+        cells = self.spec.cells()
+        outcomes = []
+        for index, cell in enumerate(cells):
+            outcome = self.run_cell(cell)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, len(cells), outcome)
+        return SweepReport(
+            spec_name=self.spec.name, store_path=self.store.path,
+            outcomes=outcomes, hits=self.runner.hits,
+            misses=self.runner.misses,
+            simulator_runs=self.runner.simulator_runs,
+            wall_time=time.perf_counter() - start,
+            store_stats=self.store.stats())
+
+
+def run_sweep(spec, store, workers=None, force=False, progress=None):
+    """Expand *spec*, execute/skip every cell, return the report."""
+    return SweepRunner(spec, store, workers=workers,
+                       force=force).run(progress=progress)
+
+
+class SweepReport:
+    """Consolidated outcome of one sweep invocation."""
+
+    def __init__(self, spec_name, store_path, outcomes, hits, misses,
+                 simulator_runs, wall_time, store_stats=None):
+        self.spec_name = spec_name
+        self.store_path = store_path
+        self.outcomes = outcomes
+        self.hits = hits
+        self.misses = misses
+        self.simulator_runs = simulator_runs
+        self.wall_time = wall_time
+        self.store_stats = store_stats or {}
+
+    @property
+    def cells_total(self):
+        return len(self.outcomes)
+
+    @property
+    def cells_run(self):
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def cells_cached(self):
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def summary(self):
+        return (f"sweep {self.spec_name}: {self.cells_total} cells "
+                f"({self.cells_run} executed, {self.cells_cached} from "
+                f"cache), {self.simulator_runs} simulator runs in "
+                f"{self.wall_time:.2f}s")
+
+    def to_json(self):
+        """JSON-safe dict (the ``SWEEP_*.json`` schema read by
+        ``benchmarks/report.py``)."""
+        return {
+            "kind": "sweep",
+            "spec": self.spec_name,
+            "store": self.store_path,
+            "totals": {
+                "cells": self.cells_total,
+                "cells_run": self.cells_run,
+                "cells_cached": self.cells_cached,
+                "simulator_runs": self.simulator_runs,
+                "wall_time": self.wall_time,
+            },
+            "store_stats": self.store_stats,
+            "cells": [
+                {
+                    "kernel": outcome.cell.kernel,
+                    "mode": outcome.cell.mode,
+                    "harden": outcome.cell.harden,
+                    "budget": outcome.cell.budget,
+                    "core": outcome.cell.core,
+                    "key": outcome.key,
+                    "cached": outcome.cached,
+                    "plan_runs": outcome.plan_runs,
+                    "pruned_runs": outcome.pruned_runs,
+                    "effects": outcome.effects,
+                    "distinct_traces": outcome.distinct_traces,
+                    "archived_bytes": outcome.archived_bytes,
+                    "wall_time": outcome.wall_time,
+                    "golden_cycles": outcome.golden_cycles,
+                    "overhead": outcome.overhead,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    def to_markdown(self):
+        lines = [
+            f"# Sweep report — {self.spec_name}",
+            "",
+            f"- store: `{self.store_path}` "
+            f"({self.store_stats.get('results', '?')} archived results)",
+            f"- cells: {self.cells_total} "
+            f"({self.cells_run} executed, {self.cells_cached} cached)",
+            f"- simulator runs this invocation: {self.simulator_runs}",
+            f"- wall time: {self.wall_time:.2f} s",
+            "",
+            "| kernel | mode | harden | budget | core | runs | sdc | "
+            "detected | masked | distinct | cached | time (s) |",
+            "|---|---|---|---|---|---:|---:|---:|---:|---:|---|---:|",
+        ]
+        for outcome in self.outcomes:
+            cell = outcome.cell
+            budget = "" if cell.budget is None else f"{cell.budget:.2f}"
+            lines.append(
+                f"| {cell.kernel} | {cell.mode} | {cell.harden} "
+                f"| {budget} | {cell.core} | {outcome.plan_runs} "
+                f"| {outcome.effects.get('sdc', 0)} "
+                f"| {outcome.effects.get('detected', 0)} "
+                f"| {outcome.effects.get('masked', 0)} "
+                f"| {outcome.distinct_traces} "
+                f"| {'hit' if outcome.cached else 'run'} "
+                f"| {outcome.wall_time:.2f} |")
+        lines.append("")
+        return "\n".join(lines)

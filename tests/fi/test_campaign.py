@@ -1,6 +1,5 @@
 """Tests for campaign planning and effect classification."""
 
-import pytest
 
 from repro.fi.campaign import (EFFECT_MASKED, EFFECT_SDC, classify_effect,
                                plan_bec, plan_exhaustive,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bec.analysis import run_bec
 from repro.errors import SimulationError
-from repro.fi.campaign import EFFECT_MASKED, classify_effect
+from repro.fi.campaign import EFFECT_MASKED
 from repro.fi.machine import Machine, MemoryInjection
 from repro.fi.memory import (iter_memory_bit_reads, memory_fault_accounting,
                              plan_memory_bec, plan_memory_inject_on_read,

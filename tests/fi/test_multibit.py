@@ -24,7 +24,6 @@ def machine():
 
 class TestMultiUpset:
     def test_two_flips_same_bit_cancel(self, machine):
-        golden = machine.run(regs={"x": 0x3C})
         both = machine.run(regs={"x": 0x3C}, injection=[
             Injection(0, "low", 2), Injection(1, "low", 2)])
         # The second flip lands after xor already read low... order:

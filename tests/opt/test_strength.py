@@ -90,7 +90,6 @@ class TestDivRem:
                 "    rem y, low, k\n"
                 "    ret y")
         reduced = reduce_strength(_parse(body))
-        mask = _first_op(reduced, Opcode.ANDI, Opcode.ANDI)
         assert any(i.opcode is Opcode.ANDI and i.imm == 7
                    for i in reduced.instructions)
 

@@ -1,0 +1,166 @@
+"""Tests for the SQLite result store and the caching runner."""
+
+import pytest
+
+from repro.bec.analysis import run_bec
+from repro.bench.motivating import count_years
+from repro.fi.campaign import plan_bec, plan_exhaustive
+from repro.fi.machine import Machine
+from repro.store import CachingRunner, ResultStore
+from repro.store.db import decode_result, encode_result
+
+
+@pytest.fixture(scope="module")
+def function():
+    return count_years()
+
+
+@pytest.fixture(scope="module")
+def machine(function):
+    return Machine(function, memory_size=256)
+
+
+@pytest.fixture(scope="module")
+def golden(machine):
+    return machine.run()
+
+
+@pytest.fixture(scope="module")
+def plan(function, golden):
+    return plan_bec(function, golden, run_bec(function))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "store.sqlite")) as opened:
+        yield opened
+
+
+def assert_same_aggregates(base, other):
+    assert other.effect_counts() == base.effect_counts()
+    assert other.distinct_traces == base.distinct_traces
+    assert other.archived_bytes == base.archived_bytes
+    assert other.vulnerable_runs() == base.vulnerable_runs()
+    assert len(other.runs) == len(base.runs)
+    for (planned_a, effect_a, sig_a), (planned_b, effect_b, sig_b) \
+            in zip(base.runs, other.runs):
+        assert effect_a == effect_b
+        assert sig_a == sig_b
+        assert planned_a.injection.cycle == planned_b.injection.cycle
+        assert planned_a.injection.reg == planned_b.injection.reg
+        assert planned_a.injection.bit == planned_b.injection.bit
+        assert (planned_a.pp, planned_a.rep, planned_a.epoch) \
+            == (planned_b.pp, planned_b.rep, planned_b.epoch)
+
+
+class TestRoundtrip:
+    def test_encode_decode_is_lossless(self, machine, plan, golden):
+        from repro.fi.engine import CampaignEngine
+        result = CampaignEngine(machine, plan, golden=golden).run()
+        decoded = decode_result(encode_result(result))
+        assert_same_aggregates(result, decoded)
+        assert decoded.cached
+        assert decoded.wall_time == result.wall_time
+        assert decoded.pruned_runs == result.pruned_runs
+        assert decoded.vectorized == result.vectorized
+
+    def test_store_persists_across_reopen(self, tmp_path, machine, plan,
+                                          golden):
+        path = str(tmp_path / "persist.sqlite")
+        with ResultStore(path) as store:
+            runner = CachingRunner(store)
+            fresh = runner.run(machine, plan, golden=golden)
+            assert not fresh.cached
+        with ResultStore(path) as store:
+            runner = CachingRunner(store)
+            cached = runner.run(machine, plan, golden=golden)
+            assert cached.cached
+            assert_same_aggregates(fresh, cached)
+
+    def test_missing_key_is_none(self, store):
+        assert store.get("0" * 32) is None
+        assert store.provenance("0" * 32) is None
+        assert "0" * 32 not in store
+
+
+class TestCachingRunner:
+    def test_hit_miss_accounting(self, store, machine, plan, golden):
+        runner = CachingRunner(store)
+        first = runner.run(machine, plan, golden=golden)
+        second = runner.run(machine, plan, golden=golden)
+        assert (runner.hits, runner.misses) == (1, 1)
+        assert runner.simulator_runs == len(plan)
+        assert not first.cached and second.cached
+        assert_same_aggregates(first, second)
+
+    def test_parity_knobs_share_one_cell(self, store, machine, plan,
+                                         golden):
+        runner = CachingRunner(store)
+        serial = runner.run(machine, plan, golden=golden)
+        parallel = runner.run(machine, plan, golden=golden, workers=2,
+                              checkpoint_interval=8)
+        assert parallel.cached
+        assert_same_aggregates(serial, parallel)
+        assert len(store) == 1
+
+    def test_different_plans_are_different_cells(self, store, machine,
+                                                 function, plan, golden):
+        runner = CachingRunner(store)
+        runner.run(machine, plan, golden=golden)
+        exhaustive = plan_exhaustive(function, golden)[:40]
+        runner.run(machine, exhaustive, golden=golden)
+        assert runner.misses == 2
+        assert len(store) == 2
+
+    def test_force_reexecutes(self, store, machine, plan, golden):
+        populate = CachingRunner(store)
+        populate.run(machine, plan, golden=golden)
+        forced = CachingRunner(store, force=True)
+        result = forced.run(machine, plan, golden=golden)
+        assert not result.cached
+        assert forced.misses == 1 and forced.hits == 0
+        assert len(store) == 1
+
+    def test_prune_is_a_distinct_cell_with_same_aggregates(
+            self, store, machine, plan, golden):
+        runner = CachingRunner(store)
+        plain = runner.run(machine, plan, golden=golden)
+        pruned = runner.run(machine, plan, golden=golden,
+                            prune="liveness")
+        assert runner.misses == 2
+        assert pruned.effect_counts() == plain.effect_counts()
+        cached = runner.run(machine, plan, golden=golden,
+                            prune="liveness")
+        assert cached.cached
+        assert cached.pruned_runs == pruned.pruned_runs
+        assert runner.simulator_runs \
+            == 2 * len(plan) - pruned.pruned_runs
+
+    def test_provenance_recorded(self, store, machine, plan, golden):
+        import repro
+
+        runner = CachingRunner(store)
+        runner.run(machine, plan, golden=golden)
+        key = runner.key_for(machine, plan)
+        provenance = store.provenance(key)
+        assert provenance["n_runs"] == len(plan)
+        assert provenance["repro_version"] == repro.__version__
+        assert provenance["created_at"]
+        stats = store.stats()
+        assert stats["results"] == 1
+        assert stats["archived_runs"] == len(plan)
+
+
+class TestSchemaVersioning:
+    def test_incompatible_schema_misses(self, store, machine, plan,
+                                        golden):
+        runner = CachingRunner(store)
+        runner.run(machine, plan, golden=golden)
+        key = runner.key_for(machine, plan)
+        store._connection.execute(
+            "UPDATE campaign_results SET schema_version = 0")
+        store._connection.commit()
+        assert store.get(key) is None
+        assert key not in store
+        rerun = runner.run(machine, plan, golden=golden)
+        assert not rerun.cached

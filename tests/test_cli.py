@@ -248,7 +248,7 @@ class TestOptLevelThreading:
         raw = capsys.readouterr().out
         assert "returned: 10" in optimized and "returned: 10" in raw
         cycles = lambda text: int(  # noqa: E731
-            [l for l in text.splitlines() if "cycles" in l][0].split()[-1])
+            [ln for ln in text.splitlines() if "cycles" in ln][0].split()[-1])
         assert cycles(raw) >= cycles(optimized)
 
     def test_analyze_honors_level(self, minic_file, capsys):
@@ -266,12 +266,12 @@ class TestOptLevelThreading:
         assert main(["campaign", minic_file, "-O", "1"]) == 0
         opt = capsys.readouterr().out
         runs = lambda text: int(  # noqa: E731
-            [l for l in text.splitlines()
-             if "fault-injection runs" in l][0].split()[-3])
+            [ln for ln in text.splitlines()
+             if "fault-injection runs" in ln][0].split()[-3])
         assert runs(raw) >= runs(opt)
         cycles = lambda text: int(  # noqa: E731
-            [l for l in text.splitlines()
-             if "golden trace" in l][0].split()[2])
+            [ln for ln in text.splitlines()
+             if "golden trace" in ln][0].split()[2])
         assert cycles(raw) > cycles(opt)
 
     def test_sample_accepts_level(self, minic_file, capsys):
@@ -384,3 +384,115 @@ class TestDot:
         target = tmp_path / "cfg.dot"
         assert main(["dot", ir_file, "-o", str(target)]) == 0
         assert target.read_text().startswith("digraph")
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        version = output.split()[1]
+        assert version[0].isdigit()
+
+    def test_version_matches_package_metadata(self, capsys):
+        """Wired to the installed distribution's metadata, falling back
+        to repro.__version__ from a source tree."""
+        try:
+            from importlib.metadata import version
+            expected = version("repro-bec")
+        except Exception:
+            import repro
+            expected = repro.__version__
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip() == f"repro {expected}"
+
+
+SWEEP_SPEC_JSON = """
+{
+  "grid": {
+    "kernels": ["%s"],
+    "modes": ["bec", "exhaustive"]
+  },
+  "engine": {"max_runs": 50}
+}
+"""
+
+
+class TestSweep:
+    @pytest.fixture
+    def spec_file(self, ir_file, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(SWEEP_SPEC_JSON % ir_file)
+        return str(path)
+
+    def test_cold_then_warm(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "2 cells (2 executed, 0 from cache)" in cold
+        assert main(["sweep", spec_file, "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "2 cells (0 executed, 2 from cache)" in warm
+        assert "0 simulator runs" in warm
+
+    def test_report_files(self, spec_file, tmp_path, capsys):
+        import json as json_module
+
+        store = str(tmp_path / "store.sqlite")
+        json_out = str(tmp_path / "sweep.json")
+        md_out = str(tmp_path / "sweep.md")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--json", json_out, "--markdown", md_out]) == 0
+        with open(json_out) as handle:
+            data = json_module.load(handle)
+        assert data["kind"] == "sweep"
+        assert data["totals"]["cells"] == 2
+        assert "| kernel |" in open(md_out).read()
+
+    def test_force(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        main(["sweep", spec_file, "--store", store])
+        capsys.readouterr()
+        assert main(["sweep", spec_file, "--store", store,
+                     "--force"]) == 0
+        assert "2 executed, 0 from cache" in capsys.readouterr().out
+
+    def test_progress_lines(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+
+    def test_bad_spec_fails_loudly(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"grid": {"kernels": []}}')
+        with pytest.raises(SystemExit):
+            main(["sweep", str(path), "--store",
+                  str(tmp_path / "s.sqlite")])
+
+    def test_missing_spec_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(tmp_path / "nope.toml"), "--store",
+                  str(tmp_path / "s.sqlite")])
+
+
+class TestCampaignStore:
+    def test_campaign_store_roundtrip(self, ir_file, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        assert main(["campaign", ir_file, "--execute", "8",
+                     "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "store hit" not in cold
+        assert main(["campaign", ir_file, "--execute", "8",
+                     "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "store hit" in warm
+        pick = lambda text: [line.split(": ", 1)[1]  # noqa: E731
+                             for line in text.splitlines()
+                             if "distinguishable" in line
+                             or line.startswith("executed")]
+        assert pick(warm) == pick(cold)
