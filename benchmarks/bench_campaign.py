@@ -44,6 +44,7 @@ import argparse
 import json
 import math
 import time
+import tracemalloc
 
 from repro.bec.analysis import run_bec
 from repro.bench.programs import compile_benchmark, get_benchmark
@@ -70,6 +71,10 @@ RSA_SCALE = 3
 
 #: Geomean gate on `engine / best batched` over the exhaustive family.
 GATE = {"full": 4.0, "smoke": 2.0}
+
+#: Chunk size of the separately traced streaming run whose tracemalloc
+#: peak lands in the report's ``peak_mem_bytes`` column.
+PEAK_CHUNK_SIZE = 256
 
 
 def prepare(name):
@@ -98,6 +103,16 @@ def timed(thunk):
     start = time.perf_counter()
     result = thunk()
     return result, time.perf_counter() - start
+
+
+def traced_peak(thunk):
+    """tracemalloc peak of one run.  Tracing costs ~2x wall time, so
+    this never wraps a timed run — memory gets its own execution."""
+    tracemalloc.start()
+    thunk()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
 
 
 def bench_row(name, family, mode):
@@ -132,6 +147,9 @@ def bench_row(name, family, mode):
             == [(effect, signature) for _, effect, signature
                 in base.runs], name
 
+    peak = traced_peak(lambda: vector.run(
+        checkpoint_interval=interval, chunk_size=PEAK_CHUNK_SIZE))
+
     best = min(batched_s, batched_prune_s)
     return {
         "program": name,
@@ -147,6 +165,8 @@ def bench_row(name, family, mode):
         "pruned_runs": pruned.pruned_runs,
         "speedup_engine_vs_serial": serial_s / engine_s,
         "speedup_batched_vs_engine": engine_s / best,
+        "peak_chunk_size": PEAK_CHUNK_SIZE,
+        "peak_mem_bytes": peak,
         "effects": base.effect_counts(),
     }
 
@@ -170,7 +190,7 @@ def main(argv=None):
     rows = []
     print(f"{'program':<10} {'family':<11} {'runs':>6} {'cycles':>7} "
           f"{'serial':>9} {'engine':>9} {'batched':>9} {'+prune':>9} "
-          f"{'vs engine':>10}")
+          f"{'vs engine':>10} {'peak':>9}")
     for family in ("exhaustive", "bec"):
         for name in programs:
             row = bench_row(name, family, mode)
@@ -180,7 +200,8 @@ def main(argv=None):
                   f"{row['serial_s']:>8.2f}s {row['engine_s']:>8.2f}s "
                   f"{row['batched_s']:>8.2f}s "
                   f"{row['batched_prune_s']:>8.2f}s "
-                  f"{row['speedup_batched_vs_engine']:>9.2f}x")
+                  f"{row['speedup_batched_vs_engine']:>9.2f}x "
+                  f"{row['peak_mem_bytes'] / 1024:>7.0f}KB")
 
     by_family = {}
     for family in ("exhaustive", "bec"):

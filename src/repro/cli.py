@@ -148,6 +148,8 @@ def cmd_campaign(options):
         raise SystemExit("--checkpoint-interval must be >= 0 (0 = off)")
     if options.batch_lanes is not None and options.batch_lanes < 1:
         raise SystemExit("--batch-lanes must be >= 1")
+    if options.chunk_size is not None and options.chunk_size < 1:
+        raise SystemExit("--chunk-size must be >= 1")
     program = load_program(options.file, optimize=_opt_level(options))
     machine, golden = _golden(program, options.args, core=options.core)
     if options.harden != "none":
@@ -196,7 +198,8 @@ def cmd_campaign(options):
                     checkpoint_interval=options.checkpoint_interval,
                     progress=progress, prune=prune,
                     batch_lanes=options.batch_lanes,
-                    harden=options.harden, budget=options.budget)
+                    harden=options.harden, budget=options.budget,
+                    chunk_size=options.chunk_size)
             if result.cached:
                 print(f"store hit: replayed archived aggregates from "
                       f"{options.store}")
@@ -206,7 +209,8 @@ def cmd_campaign(options):
                                   golden=golden, workers=options.workers,
                                   checkpoint_interval=options.checkpoint_interval,
                                   progress=progress, prune=prune,
-                                  batch_lanes=options.batch_lanes)
+                                  batch_lanes=options.batch_lanes,
+                                  chunk_size=options.chunk_size)
         if options.progress:
             print(file=sys.stderr)
         core_label = options.core
@@ -387,8 +391,31 @@ def cmd_sweep(options):
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot load sweep spec: {error}")
     progress = None
+    run_progress = None
     if options.progress:
+        active = {"width": 0}    # live-line state for \r overwriting
+
+        def _clear_line():
+            if active["width"]:
+                print("\r" + " " * active["width"] + "\r", end="",
+                      file=sys.stderr, flush=True)
+                active["width"] = 0
+
+        def run_progress(cell, done, total):
+            # Within-cell advancement on a single rewritten line
+            # (cache hits never get here — they retire no runs).
+            budget = "" if cell.budget is None \
+                else f" budget={cell.budget:.2f}"
+            line = (f"  ... {cell.kernel} mode={cell.mode} "
+                    f"harden={cell.harden}{budget} core={cell.core}: "
+                    f"{done}/{total} runs")
+            padding = " " * max(0, active["width"] - len(line))
+            print("\r" + line + padding, end="", file=sys.stderr,
+                  flush=True)
+            active["width"] = len(line)
+
         def progress(done, total, outcome):
+            _clear_line()
             cell = outcome.cell
             label = "hit " if outcome.cached else "run "
             budget = "" if cell.budget is None \
@@ -400,7 +427,8 @@ def cmd_sweep(options):
     with ResultStore(options.store) as store:
         try:
             report = run_sweep(spec, store, workers=options.workers,
-                               force=options.force, progress=progress)
+                               force=options.force, progress=progress,
+                               run_progress=run_progress)
         except (KeyError, OSError, ValueError, RuntimeError,
                 ReproError) as error:
             # Unknown registry kernel, unreadable/uncompilable kernel
@@ -562,6 +590,12 @@ def build_parser():
                      metavar="N",
                      help="lockstep lane count for --core batched "
                           "(default 256)")
+    sub.add_argument("--chunk-size", type=int, default=None,
+                     metavar="N",
+                     help="records per streamed chunk — bounds the "
+                          "campaign's resident per-run memory "
+                          "(default 2048; aggregates stay "
+                          "bit-identical)")
     sub.add_argument("--progress", action="store_true",
                      help="print a progress line to stderr")
     sub.add_argument("--store", metavar="DB", default=None,

@@ -75,53 +75,121 @@ def plan_bec(function, trace, bec):
     return plan
 
 
-class CampaignResult:
-    """Outcome of a campaign: per-run effects plus aggregate stats."""
+class Aggregates:
+    """Incremental campaign aggregates — everything a
+    :class:`CampaignResult` reports without touching per-run records.
 
-    #: True on results decoded from :mod:`repro.store` instead of
-    #: being executed (the store's subclass overrides this).
-    cached = False
+    Updated once per record as runs retire (O(1) each), so aggregate
+    queries never re-scan the run list and a streaming campaign needs
+    no per-run retention at all.  The accumulated numbers are
+    bit-identical to a scan of the materialized records because they
+    are fed the same records in the same (plan) order.
+    """
 
-    def __init__(self, golden):
-        self.golden = golden
-        self.runs = []            # (PlannedRun, effect, signature)
-        self.wall_time = 0.0
-        self.pruned_runs = 0      # masked without simulation (liveness)
-        self.vectorized = False   # lockstep core actually engaged
-        self._distinct = {}
+    __slots__ = ("n_runs", "counts", "vulnerable", "_distinct")
 
-    def record(self, planned, effect, signature, byte_size):
-        self.runs.append((planned, effect, signature))
+    def __init__(self):
+        self.n_runs = 0
+        self.counts = {}          # effect class -> run count
+        self.vulnerable = 0       # runs whose trace differs from golden
+        self._distinct = {}       # signature -> archived byte size
+
+    def add(self, effect, signature, byte_size):
+        self.n_runs += 1
+        self.counts[effect] = self.counts.get(effect, 0) + 1
+        if effect != EFFECT_MASKED:
+            self.vulnerable += 1
         if signature not in self._distinct:
             self._distinct[signature] = byte_size
+
+    def effect_counts(self):
+        counts = dict.fromkeys(EFFECT_CLASSES, 0)
+        counts.update(self.counts)
+        return counts
 
     @property
     def distinct_traces(self):
         return len(self._distinct)
 
     def trace_sizes(self):
+        return dict(self._distinct)
+
+    @property
+    def archived_bytes(self):
+        return sum(self._distinct.values())
+
+    @classmethod
+    def restore(cls, counts, vulnerable, sizes, n_runs):
+        """Rebuild an accumulator from archived aggregate numbers
+        (the store's chunked payloads keep them in the meta row so a
+        cached result needs no run scan)."""
+        aggregates = cls()
+        aggregates.n_runs = n_runs
+        aggregates.counts = {effect: count
+                             for effect, count in counts.items() if count}
+        aggregates.vulnerable = vulnerable
+        aggregates._distinct = dict(sizes)
+        return aggregates
+
+
+class CampaignResult:
+    """Outcome of a campaign: per-run effects plus aggregate stats.
+
+    A thin facade over two streaming products of the engine: aggregates
+    come from an incrementally updated :class:`Aggregates` accumulator,
+    and ``runs`` is whatever record sequence the caller supplies — an
+    in-memory list (the default, and what :meth:`record` appends to), a
+    disk-spool view (:class:`repro.fi.sink.SpooledRuns`) on streamed
+    campaigns, or a chunk-reading store view on cached results.  Every
+    consumer-facing accessor (``effect_counts()``, ``distinct_traces``,
+    ``vulnerable_runs()``, ``archived_bytes``, iteration over ``runs``)
+    behaves identically across the three, so downstream code cannot
+    tell how the records are held.
+    """
+
+    #: True on results decoded from :mod:`repro.store` instead of
+    #: being executed (the store's subclass overrides this).
+    cached = False
+
+    def __init__(self, golden, runs=None, aggregates=None):
+        self.golden = golden
+        #: (PlannedRun, effect, signature) per run — list or lazy view.
+        self.runs = [] if runs is None else runs
+        self.wall_time = 0.0
+        self.pruned_runs = 0      # masked without simulation (liveness)
+        self.vectorized = False   # lockstep core actually engaged
+        self._aggregates = Aggregates() if aggregates is None \
+            else aggregates
+
+    def record(self, planned, effect, signature, byte_size):
+        self.runs.append((planned, effect, signature))
+        self._aggregates.add(effect, signature, byte_size)
+
+    @property
+    def distinct_traces(self):
+        return self._aggregates.distinct_traces
+
+    def trace_sizes(self):
         """``signature -> archived byte size`` for every
         distinguishable trace (the store serializes this)."""
-        return dict(self._distinct)
+        return self._aggregates.trace_sizes()
 
     @property
     def archived_bytes(self):
         """Bytes needed to archive one copy of each distinguishable
         trace (the paper's Table I disk-space column)."""
-        return sum(self._distinct.values())
+        return self._aggregates.archived_bytes
 
     def effect_counts(self):
         """Per-class run counts; every class of :data:`EFFECT_CLASSES`
-        is present (zero when no run landed in it)."""
-        counts = dict.fromkeys(EFFECT_CLASSES, 0)
-        for _, effect, _ in self.runs:
-            counts[effect] = counts.get(effect, 0) + 1
-        return counts
+        is present (zero when no run landed in it).  O(classes) — the
+        counts accumulate as runs are recorded, so reporting paths that
+        call this repeatedly never re-scan the run list."""
+        return self._aggregates.effect_counts()
 
     def vulnerable_runs(self):
-        """Runs whose trace differs from the golden trace."""
-        return sum(1 for _, effect, _ in self.runs
-                   if effect != EFFECT_MASKED)
+        """Runs whose trace differs from the golden trace (O(1))."""
+        return self._aggregates.vulnerable
 
 
 def classify_effect(golden, injected):
@@ -141,7 +209,7 @@ def classify_effect(golden, injected):
 
 def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
                  workers=1, checkpoint_interval=None, progress=None,
-                 prune=None, batch_lanes=None):
+                 prune=None, batch_lanes=None, sink=None, chunk_size=None):
     """Execute every planned run; returns a :class:`CampaignResult`.
 
     ``machine`` must wrap the same function the plan was made for; the
@@ -149,7 +217,8 @@ def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
     :class:`repro.fi.engine.CampaignEngine` — ``workers``,
     ``checkpoint_interval``, ``prune`` and (on a ``core="batched"``
     machine) lockstep vectorization opt into accelerated execution
-    with bit-identical aggregates.
+    with bit-identical aggregates; ``sink``/``chunk_size`` stream the
+    record chunks to a :class:`repro.fi.sink.RunSink` as they retire.
     """
     from repro.fi.engine import CampaignEngine
 
@@ -158,7 +227,8 @@ def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
     return engine.run(workers=workers,
                       checkpoint_interval=checkpoint_interval,
                       progress=progress, prune=prune,
-                      batch_lanes=batch_lanes)
+                      batch_lanes=batch_lanes, sink=sink,
+                      chunk_size=chunk_size)
 
 
 def golden_run(function, regs=None, memory_image=None, memory_size=1 << 16,

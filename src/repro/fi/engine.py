@@ -16,12 +16,14 @@ cycle.  This module is the production engine behind it:
   (round-robin) chunks executed by ``fork``-ed worker processes, so
   the expensive early-cycle injections — whose resumed tails span
   nearly the whole trace — spread evenly across workers instead of
-  serializing in the first contiguous chunk.  Records are merged back
-  in plan order, so the resulting :class:`CampaignResult` — run order,
-  ``effect_counts()``, ``vulnerable_runs()``, ``distinct_traces`` — is
-  bit-identical to the serial baseline.  Platforms without the
-  ``fork`` start method fall back to serial execution (same results,
-  no speedup).
+  serializing in the first contiguous chunk.  Workers stream finished
+  ``chunk_size`` segments back over a queue; the parent un-deals them
+  back into plan order (:class:`repro.fi.sink.StridedUndealer`) before
+  any consumer sees a record, so the resulting
+  :class:`CampaignResult` — run order, ``effect_counts()``,
+  ``vulnerable_runs()``, ``distinct_traces`` — is bit-identical to the
+  serial baseline.  Platforms without the ``fork`` start method fall
+  back to serial execution (same results, no speedup).
 * **Lockstep vectorization** (a machine built with
   ``core="batched"``): the plan is executed SIMD-across-faults by
   :mod:`repro.fi.batch` — one NumPy lane per planned injection running
@@ -33,6 +35,13 @@ cycle.  This module is the production engine behind it:
   injection whose register is overwritten on the golden path before it
   is next read is provably masked and recorded without simulation
   (:mod:`repro.fi.prune`); ``CampaignResult.pruned_runs`` counts them.
+* **Streaming sinks** (``sink=...``, ``chunk_size=N``): records are
+  pushed to :mod:`repro.fi.sink` consumers in plan-ordered chunks as
+  they retire instead of being materialized first.  The engine's own
+  aggregates and the ``CampaignResult.runs`` disk spool ride the same
+  stream, so peak resident per-run records are O(chunk_size) on the
+  serial path and O(chunk_size × workers) on the parallel path —
+  independent of plan length.
 
 All knobs compose and every combination preserves bit-identical
 aggregates; snapshots and the batch classifier are built in the parent
@@ -47,12 +56,14 @@ from repro.fi import batch
 from repro.fi.campaign import (EFFECT_MASKED, CampaignResult,
                                classify_effect)
 from repro.fi.prune import LivenessPruner
+from repro.fi.sink import (AggregateSink, ChunkAssembler, ProgressSink,
+                           SpoolSink, StridedUndealer, TeeSink)
 
-#: Chunks per worker — small enough to amortize task dispatch, large
-#: enough that a slow chunk doesn't serialize the tail of the campaign.
-#: (With strided assignment chunks are statistically balanced already,
-#: but per-chunk dispatch also paces the progress callback.)
-_CHUNKS_PER_WORKER = 4
+#: Records per streamed chunk when the caller does not choose.  Large
+#: enough to amortize sink dispatch, IPC pickling and (on the batched
+#: core) lane refills across many runs; small enough that the bounded
+#: per-chunk memory stays a few hundred KB.
+DEFAULT_CHUNK_SIZE = 2048
 
 #: Valid ``prune`` arguments of :meth:`CampaignEngine.run`.
 PRUNE_MODES = (None, "none", "liveness")
@@ -132,19 +143,36 @@ class _WorkerContext:
 
 
 _WORKER = None
+_WORKER_QUEUE = None
+_WORKER_CHUNK_SIZE = None
 
 
-def _init_worker(context):
-    global _WORKER
+def _init_worker(context, queue, chunk_size):
+    global _WORKER, _WORKER_QUEUE, _WORKER_CHUNK_SIZE
     _WORKER = context
+    _WORKER_QUEUE = queue
+    _WORKER_CHUNK_SIZE = chunk_size
 
 
 def _run_chunk(chunk):
-    """One strided chunk: every ``n_chunks``-th pending plan index,
-    starting at ``chunk_index`` (round-robin deal)."""
+    """One strided chunk — every ``n_chunks``-th pending plan index,
+    starting at ``chunk_index`` (round-robin deal) — streamed back to
+    the parent as ``(chunk_index, segment_index, records)`` messages,
+    one per retired ``chunk_size`` segment."""
     chunk_index, n_chunks = chunk
     context = _WORKER
-    return context.classify_indices(context.todo[chunk_index::n_chunks])
+    queue = _WORKER_QUEUE
+    chunk_size = _WORKER_CHUNK_SIZE
+    mine = context.todo[chunk_index::n_chunks]
+    try:
+        for segment_index, low in enumerate(range(0, len(mine),
+                                                  chunk_size)):
+            records = context.classify_indices(mine[low:low + chunk_size])
+            queue.put((chunk_index, segment_index, records))
+    except Exception as exc:            # surfaced by the parent drain loop
+        queue.put((-1, -1, f"{type(exc).__name__}: {exc}"))
+        raise
+    return chunk_index
 
 
 class CampaignEngine:
@@ -168,7 +196,7 @@ class CampaignEngine:
             else max(4 * self.golden.cycles + 256, 1024)
 
     def run(self, workers=1, checkpoint_interval=None, progress=None,
-            prune=None, batch_lanes=None):
+            prune=None, batch_lanes=None, sink=None, chunk_size=None):
         """Execute the whole plan; returns a :class:`CampaignResult`.
 
         ``workers`` > 1 forks that many processes; ``checkpoint_interval``
@@ -177,12 +205,21 @@ class CampaignEngine:
         points); ``prune="liveness"`` pre-classifies provably
         overwritten-before-read injections without simulation;
         ``batch_lanes`` sets the lockstep lane count; ``progress`` is an
-        optional ``callable(done, total)`` invoked as runs retire.
+        optional ``callable(done, total)`` invoked as chunks retire;
+        ``sink`` is an optional extra :class:`repro.fi.sink.RunSink`
+        receiving the plan-ordered record stream (e.g. a store writer);
+        ``chunk_size`` bounds resident records per streamed chunk
+        (default :data:`DEFAULT_CHUNK_SIZE`) — a parity knob, never an
+        aggregate-changing one.
         """
         if prune not in PRUNE_MODES:
             raise SimulationError(f"unknown prune mode {prune!r}")
         if batch_lanes is not None and batch_lanes < 1:
             raise SimulationError("lane count must be positive")
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        elif chunk_size < 1:
+            raise SimulationError("chunk size must be positive")
         start = time.perf_counter()
         batched = (self.machine.core == "batched"
                    and batch.numpy_available())
@@ -194,23 +231,20 @@ class CampaignEngine:
                 regs=self.regs, interval=checkpoint_interval,
                 max_cycles=self.max_cycles)
         total = len(self.plan)
-        records = [None] * total
-        todo = list(range(total))
+        # A range, not a list: the pending-index set is O(1) resident
+        # until pruning actually filters it, keeping the streamed
+        # engine's footprint free of O(plan) index storage.
+        todo = range(total)
         pruned = 0
+        masked = None
         if prune == "liveness" and todo:
             pruner = LivenessPruner(self.machine.function, self.golden)
             masked = (EFFECT_MASKED, self.golden.signature(),
                       self.golden.byte_size())
-            remaining = []
-            for index in todo:
-                if pruner.provably_masked(self.plan[index].injection):
-                    records[index] = masked
-                else:
-                    remaining.append(index)
-            todo = remaining
+            todo = [index for index in todo
+                    if not pruner.provably_masked(
+                        self.plan[index].injection)]
             pruned = total - len(todo)
-            if progress is not None and pruned:
-                progress(pruned, total)
         classifier = None
         if batched and todo and batch.batchable(
                 self.machine, self.golden, snapshots, self.max_cycles):
@@ -218,68 +252,77 @@ class CampaignEngine:
                 self.machine, self.plan, self.regs, self.golden,
                 snapshots, self.max_cycles,
                 lanes=batch_lanes or batch.DEFAULT_LANES)
-        context = _WorkerContext(self.machine, self.plan, self.regs,
-                                 self.golden, snapshots, self.max_cycles,
-                                 todo, classifier)
-        if workers and workers > 1 and len(todo) > 1 \
-                and "fork" in multiprocessing.get_all_start_methods():
-            filled = self._run_parallel(context, workers, progress, pruned,
-                                        total)
-        else:
-            filled = self._run_serial(context, progress, pruned, total)
-        for index, record in zip(todo, filled):
-            records[index] = record
-        result = CampaignResult(self.golden)
-        for planned, record in zip(self.plan, records):
-            result.record(planned, *record)
-        result.pruned_runs = pruned
         # Distinguishes the lockstep core actually engaging from the
         # silent scalar fallback (NumPy missing, non-batchable setup).
         # A plan fully pre-classified by pruning left nothing to
         # vectorize, which is not a fallback.
-        result.vectorized = classifier is not None \
-            or (batched and not todo)
+        vectorized = classifier is not None or (batched and not todo)
+        context = _WorkerContext(self.machine, self.plan, self.regs,
+                                 self.golden, snapshots, self.max_cycles,
+                                 todo, classifier)
+        aggregate = AggregateSink()
+        spool = SpoolSink()
+        sinks = [aggregate, spool]
+        if progress is not None:
+            sinks.append(ProgressSink(progress))
+        if sink is not None:
+            sinks.append(sink)
+        tee = TeeSink(sinks)
+        tee.begin({"total_runs": total, "pruned_runs": pruned,
+                   "vectorized": vectorized, "chunk_size": chunk_size,
+                   "plan": self.plan, "golden": self.golden})
+        assembler = ChunkAssembler(self.plan, todo, masked, tee,
+                                   chunk_size)
+        if workers and workers > 1 and len(todo) > 1 \
+                and "fork" in multiprocessing.get_all_start_methods():
+            self._run_parallel(context, workers, chunk_size, assembler)
+        else:
+            self._run_serial(context, chunk_size, assembler)
+        assembler.close()
+        result = CampaignResult(self.golden,
+                                aggregates=aggregate.aggregates)
+        result.pruned_runs = pruned
+        result.vectorized = vectorized
         result.wall_time = time.perf_counter() - start
+        tee.finish({"wall_time": result.wall_time})
+        result.runs = spool.view()
         return result
 
-    def _run_serial(self, context, progress, prior, total):
-        adapted = None
-        if progress is not None:
-            def adapted(done, _subtotal):
-                progress(prior + done, total)
-        records = context.classify_indices(context.todo, progress=adapted)
-        if progress is not None:
-            progress(total, total)
-        return records
+    def _run_serial(self, context, chunk_size, assembler):
+        todo = context.todo
+        for low in range(0, len(todo), chunk_size):
+            assembler.push(context.classify_indices(
+                todo[low:low + chunk_size]))
 
-    def _run_parallel(self, context, workers, progress, prior, total):
+    def _run_parallel(self, context, workers, chunk_size, assembler):
         pending = len(context.todo)
-        # One strided chunk per worker when the batch classifier is on
-        # (each chunk pays one sweep down the golden trace), several
-        # when classification is scalar (cheap dispatch, finer pacing).
-        per_worker = 1 if context.classifier is not None \
-            else _CHUNKS_PER_WORKER
-        n_chunks = max(1, min(workers * per_worker, pending))
+        n_chunks = max(1, min(workers, pending))
+        mp = multiprocessing.get_context("fork")
+        queue = mp.SimpleQueue()
         try:
-            pool = multiprocessing.get_context("fork").Pool(
-                processes=min(workers, n_chunks),
-                initializer=_init_worker, initargs=(context,))
+            pool = mp.Pool(processes=n_chunks, initializer=_init_worker,
+                           initargs=(context, queue, chunk_size))
         except OSError:
             # Process creation refused (sandbox, rlimits): same
             # results, just without the speedup.
-            return self._run_serial(context, progress, prior, total)
-        parts = [None] * n_chunks
-        done = 0
+            return self._run_serial(context, chunk_size, assembler)
+        # Segments arrive out of order across workers; the un-dealer
+        # buffers them and releases maximal plan-order runs, keeping
+        # the parent's residency at O(chunk_size × workers).
+        undealer = StridedUndealer(pending, n_chunks, chunk_size)
+        expected = sum(
+            -(-len(context.todo[index::n_chunks]) // chunk_size)
+            for index in range(n_chunks))
         with pool:
-            chunks = [(index, n_chunks) for index in range(n_chunks)]
-            for index, part in enumerate(pool.imap(_run_chunk, chunks)):
-                parts[index] = part
-                done += len(part)
-                if progress is not None:
-                    progress(prior + done, total)
-        # Un-deal the round-robin: part k holds records for pending
-        # indices k, k + n_chunks, k + 2*n_chunks, ... in order.
-        records = [None] * pending
-        for index, part in enumerate(parts):
-            records[index::n_chunks] = part
-        return records
+            outcome = pool.map_async(
+                _run_chunk, [(index, n_chunks) for index in range(n_chunks)])
+            received = 0
+            while received < expected:
+                chunk_index, segment_index, payload = queue.get()
+                if chunk_index < 0:
+                    raise SimulationError(
+                        f"campaign worker failed: {payload}")
+                received += 1
+                assembler.push(undealer.add(chunk_index, segment_index,
+                                            payload))
+            outcome.get()               # surface straggler failures

@@ -1,0 +1,379 @@
+"""Streaming run sinks: the engine→consumer dataflow protocol.
+
+:class:`repro.fi.engine.CampaignEngine` used to materialize every
+per-run record before anything downstream saw one — O(plan) resident
+memory, and the store archived the finished list as one monolithic
+payload.  This module inverts that dataflow: the engine *pushes* run
+records to a :class:`RunSink` in bounded, plan-ordered chunks as they
+retire, and everything downstream — aggregates, the disk spool behind
+``CampaignResult.runs``, the SQLite archive, progress reporting —
+consumes the stream incrementally.
+
+The protocol is three calls, in order::
+
+    sink.begin(meta)        # once, before any record retires
+    sink.consume(chunk)     # zero or more times, chunks in plan order
+    sink.finish(summary)    # once, after the last record
+
+*meta* describes the campaign before execution: ``total_runs``,
+``pruned_runs``, ``vectorized``, ``chunk_size``, plus the resident
+``plan`` and ``golden`` trace for sinks that want them.  Each *chunk*
+is a list of ``(planned, effect, signature, byte_size)`` tuples —
+consecutive plan entries, at most ``chunk_size`` of them — and chunks
+arrive strictly in plan order regardless of the execution schedule
+(serial, forked workers, lockstep lanes): the engine's round-robin
+un-deal happens *before* the sink boundary, so every sink observes the
+same byte-identical record stream the serial engine produces.
+*summary* carries post-execution facts (``wall_time``).
+
+Memory model: a sink that retains nothing per-run (like
+:class:`AggregateSink`) gives the whole pipeline O(chunk_size) peak
+resident records regardless of plan length; :class:`SpoolSink` spills
+chunks to a temporary file so ``CampaignResult.runs`` stays lazily
+iterable at the same bound.
+
+Built-in sinks compose with :class:`TeeSink`; anything matching the
+three-call protocol (duck-typed, no inheritance required) can join the
+fan-out — :class:`repro.store.db.ResultStore` plugs in through
+:class:`StoreWriterSink` without this module importing the store.
+"""
+
+import pickle
+import tempfile
+
+from repro.fi.campaign import Aggregates
+
+
+class RunSink:
+    """Base consumer of a streamed campaign; every hook is optional."""
+
+    def begin(self, meta):
+        """Called once before any record retires."""
+
+    def consume(self, chunk):
+        """Called with each plan-ordered records chunk as it retires."""
+
+    def finish(self, summary):
+        """Called once after the last record has been consumed."""
+
+
+class TeeSink(RunSink):
+    """Fans one record stream out to several sinks, in order."""
+
+    def __init__(self, sinks):
+        self.sinks = list(sinks)
+
+    def begin(self, meta):
+        for sink in self.sinks:
+            sink.begin(meta)
+
+    def consume(self, chunk):
+        for sink in self.sinks:
+            sink.consume(chunk)
+
+    def finish(self, summary):
+        for sink in self.sinks:
+            sink.finish(summary)
+
+
+class AggregateSink(RunSink):
+    """Incremental aggregates with zero per-run retention.
+
+    Feeds every record into a :class:`repro.fi.campaign.Aggregates`
+    accumulator and drops it — the aggregate numbers are bit-identical
+    to a scan of the materialized record list because the stream
+    arrives in plan order.
+    """
+
+    def __init__(self):
+        self.aggregates = Aggregates()
+
+    def consume(self, chunk):
+        add = self.aggregates.add
+        for _, effect, signature, byte_size in chunk:
+            add(effect, signature, byte_size)
+
+
+class ProgressSink(RunSink):
+    """Adapts the chunk stream to a ``callable(done, total)``.
+
+    ``done`` counts every retired record — simulated, vectorized and
+    liveness-pruned alike, since pruned entries are interleaved into
+    the stream at their plan positions — so the callback advances
+    monotonically from 0 to ``total_runs`` and always ends on
+    ``(total, total)`` (also for an empty plan).
+    """
+
+    def __init__(self, callback):
+        self.callback = callback
+        self._done = 0
+        self._total = 0
+
+    def begin(self, meta):
+        self._done = 0
+        self._total = meta["total_runs"]
+
+    def consume(self, chunk):
+        self._done += len(chunk)
+        self.callback(self._done, self._total)
+
+    def finish(self, summary):
+        if self._done != self._total or self._total == 0:
+            self._done = self._total
+        self.callback(self._total, self._total)
+
+
+class SpooledRuns:
+    """Lazy, re-iterable view of spooled run records.
+
+    Looks like the list ``CampaignResult.runs`` used to be — ``len``,
+    iteration, indexing, ``zip`` with another result's runs — but holds
+    at most one chunk of records in memory at a time, loading chunks
+    from the spool file on demand.  Small campaigns (one chunk) stay
+    in memory with no file at all.
+    """
+
+    def __init__(self, plan, chunk_size, memory_records=None, spool=None,
+                 frames=None):
+        self._plan = plan
+        self._chunk_size = chunk_size
+        self._memory = memory_records       # list[(effect, sig)] or None
+        self._spool = spool                 # file object or None
+        self._frames = frames or []         # [(offset, length, n_records)]
+        if memory_records is not None:
+            self._length = len(memory_records)
+        else:
+            self._length = sum(count for _, _, count in self._frames)
+        self._cache_index = None
+        self._cache = None
+
+    def __len__(self):
+        return self._length
+
+    def _load(self, frame_index):
+        """Records of one spool frame (seek+read back-to-back, so
+        interleaved iterators over the same view stay consistent)."""
+        if frame_index == self._cache_index:
+            return self._cache
+        offset, length, _ = self._frames[frame_index]
+        self._spool.seek(offset)
+        records = pickle.loads(self._spool.read(length))
+        self._cache_index = frame_index
+        self._cache = records
+        return records
+
+    def __iter__(self):
+        if self._memory is not None:
+            for index, (effect, signature) in enumerate(self._memory):
+                yield (self._plan[index], effect, signature)
+            return
+        base = 0
+        for frame_index in range(len(self._frames)):
+            for offset, (effect, signature) \
+                    in enumerate(self._load(frame_index)):
+                yield (self._plan[base + offset], effect, signature)
+            base += self._frames[frame_index][2]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[position]
+                    for position in range(*index.indices(self._length))]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("run index out of range")
+        if self._memory is not None:
+            effect, signature = self._memory[index]
+        else:
+            effect, signature = self._load(
+                index // self._chunk_size)[index % self._chunk_size]
+        return (self._plan[index], effect, signature)
+
+
+class SpoolSink(RunSink):
+    """Spills per-run records to a disk spool, one frame per chunk.
+
+    Only ``(effect, signature)`` pairs are spooled — the plan is
+    already resident in the engine, so the :class:`SpooledRuns` view
+    re-zips records with their :class:`PlannedRun` entries on read.  A
+    campaign that fits in a single chunk never touches the disk.
+    """
+
+    def __init__(self):
+        self._plan = None
+        self._chunk_size = None
+        self._total = 0
+        self._memory = None
+        self._spool = None
+        self._frames = []
+        self._view = None
+
+    def begin(self, meta):
+        self._plan = meta["plan"]
+        self._chunk_size = meta["chunk_size"]
+        self._total = meta["total_runs"]
+        if self._total <= self._chunk_size:
+            self._memory = []
+
+    def consume(self, chunk):
+        pairs = [(effect, signature)
+                 for _, effect, signature, _ in chunk]
+        if self._memory is not None:
+            self._memory.extend(pairs)
+            return
+        if self._spool is None:
+            self._spool = tempfile.TemporaryFile(
+                prefix="repro-campaign-spool-")
+        frame = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+        offset = self._spool.seek(0, 2)
+        self._spool.write(frame)
+        self._frames.append((offset, len(frame), len(pairs)))
+
+    def finish(self, summary):
+        self._view = SpooledRuns(self._plan, self._chunk_size,
+                                 memory_records=self._memory,
+                                 spool=self._spool, frames=self._frames)
+
+    def view(self):
+        """The finished :class:`SpooledRuns`; valid after ``finish``."""
+        if self._view is None:
+            raise RuntimeError("spool view requested before finish()")
+        return self._view
+
+
+class StoreWriterSink(RunSink):
+    """Streams retiring chunks straight into a result store.
+
+    Duck-typed against :meth:`repro.store.db.ResultStore.open_writer`
+    (this module never imports the store): ``begin`` opens a chunked
+    writer under *key*, each ``consume`` appends one archived chunk,
+    and ``finish`` commits the meta row — aggregates, provenance —
+    atomically, so readers never observe a partially archived
+    campaign.  On an engine failure call :meth:`abort` to roll the
+    partial write back.
+    """
+
+    def __init__(self, store, key):
+        self.store = store
+        self.key = key
+        self._writer = None
+        self._aggregates = Aggregates()
+        self._meta = None
+
+    def begin(self, meta):
+        self._meta = meta
+        self._writer = self.store.open_writer(self.key, meta["chunk_size"])
+
+    def consume(self, chunk):
+        add = self._aggregates.add
+        for _, effect, signature, byte_size in chunk:
+            add(effect, signature, byte_size)
+        self._writer.write_chunk(chunk)
+
+    def finish(self, summary):
+        self._writer.commit(self._aggregates,
+                            pruned_runs=self._meta["pruned_runs"],
+                            vectorized=self._meta["vectorized"],
+                            wall_time=summary["wall_time"])
+        self._writer = None
+
+    def abort(self):
+        """Roll back a partial archive after an engine failure."""
+        if self._writer is not None:
+            self._writer.abort()
+            self._writer = None
+
+
+class ChunkAssembler:
+    """Reassembles retiring records into plan-ordered, fixed-size
+    chunks and feeds them to a sink.
+
+    The engine classifies only the ``todo`` plan indices (liveness
+    pruning may have pre-classified the rest); :meth:`push` accepts
+    their records *in todo order* and interleaves the pruned plan
+    positions back in as copies of ``pruned_record``, so the sink
+    observes one uninterrupted plan-ordered stream.  Every emitted
+    chunk holds exactly ``chunk_size`` records except the last.
+    """
+
+    def __init__(self, plan, todo, pruned_record, sink, chunk_size):
+        self._plan = plan
+        self._todo = todo
+        self._pruned_record = pruned_record
+        self._sink = sink
+        self._chunk_size = chunk_size
+        self._todo_pos = 0
+        self._next = 0                  # next plan index to emit
+        self._buffer = []
+
+    def _emit(self, plan_index, record):
+        self._buffer.append((self._plan[plan_index],) + record)
+        if len(self._buffer) >= self._chunk_size:
+            self._sink.consume(self._buffer)
+            self._buffer = []
+
+    def push(self, records):
+        """Consume records for ``todo[pos:pos+len(records)]``."""
+        for record in records:
+            todo_index = self._todo[self._todo_pos]
+            self._todo_pos += 1
+            while self._next < todo_index:
+                self._emit(self._next, self._pruned_record)
+                self._next += 1
+            self._emit(todo_index, record)
+            self._next = todo_index + 1
+
+    def close(self):
+        """Flush trailing pruned positions and the partial last chunk."""
+        while self._next < len(self._plan):
+            self._emit(self._next, self._pruned_record)
+            self._next += 1
+        if self._buffer:
+            self._sink.consume(self._buffer)
+            self._buffer = []
+
+
+class StridedUndealer:
+    """Restores todo order from the workers' strided segment stream.
+
+    The parallel engine deals ``todo`` round-robin into ``n_chunks``
+    strided chunks (``todo[k::n_chunks]``) and each worker retires its
+    chunk in ``chunk_size`` segments, pushed to the parent as they
+    complete — out of order across workers.  ``add`` buffers arriving
+    segments and returns the maximal run of records now contiguous in
+    todo order; todo position ``t`` lives in chunk ``t % n_chunks`` at
+    within-chunk offset ``t // n_chunks``, i.e. segment
+    ``offset // chunk_size``, slot ``offset % chunk_size``.  Segments
+    are freed as soon as their last record is emitted, bounding the
+    parent's buffer at O(chunk_size × n_chunks).
+    """
+
+    def __init__(self, n_items, n_chunks, chunk_size):
+        self._n_items = n_items
+        self._n_chunks = n_chunks
+        self._chunk_size = chunk_size
+        self._next = 0                  # next todo position to emit
+        self._segments = {}             # (chunk, segment) -> records
+
+    def add(self, chunk_index, segment_index, records):
+        self._segments[(chunk_index, segment_index)] = records
+        out = []
+        while self._next < self._n_items:
+            position = self._next
+            chunk = position % self._n_chunks
+            offset = position // self._n_chunks
+            key = (chunk, offset // self._chunk_size)
+            segment = self._segments.get(key)
+            if segment is None:
+                break
+            slot = offset % self._chunk_size
+            out.append(segment[slot])
+            self._next += 1
+            if slot == len(segment) - 1:
+                del self._segments[key]
+        return out
+
+    @property
+    def pending(self):
+        """Buffered segments awaiting earlier records (diagnostics)."""
+        return len(self._segments)

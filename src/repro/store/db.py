@@ -1,40 +1,79 @@
 """SQLite-backed content-addressed store of campaign results.
 
-One row per cache key (:func:`repro.store.keys.campaign_key`): the
-full per-run record list — effects *and* trace signatures, so pairwise
-consumers like :func:`repro.harden.evaluate.count_conversions` work
-identically on cached results — plus provenance (wall time of the
-original execution, host, package version, creation time).
+One *meta* row per cache key (:func:`repro.store.keys.campaign_key`)
+holding the campaign's aggregates and provenance, plus the per-run
+record list — effects *and* trace signatures, so pairwise consumers
+like :func:`repro.harden.evaluate.count_conversions` work identically
+on cached results — archived as **chunked, zlib-compressed segments**
+in ``campaign_chunks`` (``(key, chunk_index)`` rows, payload layout
+v2).  Writers stream chunks in as the engine retires them
+(:class:`ChunkWriter`, fed by :class:`repro.fi.sink.StoreWriterSink`)
+and readers replay hits as a lazy chunk iterator
+(:class:`StoredRuns`), so neither side ever materializes a whole
+campaign: peak resident records stay O(chunk_size) on both paths.
+
+Layout v1 — the whole run list as one monolithic JSON payload in the
+meta row — remains readable: :meth:`ResultStore.get` decodes v1 rows
+with the retained legacy codec (:func:`decode_result`) and treats a
+corrupt payload as a clean miss, never a crash.  Because the *key*
+recipe is versioned separately (:data:`repro.store.keys.KEY_VERSION`),
+a store written before the v2 bump keeps serving hits under the same
+addresses.
 
 The store is a plain file; concurrent sweeps on one host are safe
-because every write is a single ``INSERT``-or-replace of an immutable
-payload under its content address (two writers racing on one key write
-the same aggregates by the engine's parity invariants).
+because a result's meta row is committed only after all of its chunks,
+in one transaction — readers never observe a partially archived
+campaign, and two writers racing on one key write the same aggregates
+by the engine's parity invariants.
 """
 
 import json
 import os
 import platform
 import sqlite3
+import zlib
 from datetime import datetime, timezone
 
 import repro
-from repro.fi.campaign import CampaignResult, PlannedRun
+from repro.fi.campaign import Aggregates, CampaignResult, PlannedRun
 from repro.fi.machine import Injection
 from repro.store.keys import SCHEMA_VERSION
 
+#: Payload layout versions :meth:`ResultStore.get` can decode.  A row
+#: written by any other version misses cleanly (and is invisible to
+#: ``in`` / ``len`` / ``keys()`` / ``stats()``).
+READABLE_VERSIONS = (1, SCHEMA_VERSION)
+
+#: Records per archived chunk when the writer is not told otherwise
+#: (matches the engine's default streaming granularity).
+DEFAULT_CHUNK_SIZE = 2048
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaign_results (
-    key            TEXT PRIMARY KEY,
-    schema_version INTEGER NOT NULL,
-    payload        TEXT NOT NULL,
-    n_runs         INTEGER NOT NULL,
-    wall_time      REAL NOT NULL,
-    host           TEXT NOT NULL,
-    repro_version  TEXT NOT NULL,
-    created_at     TEXT NOT NULL
+    key                TEXT PRIMARY KEY,
+    schema_version     INTEGER NOT NULL,
+    payload            TEXT NOT NULL,
+    n_runs             INTEGER NOT NULL,
+    wall_time          REAL NOT NULL,
+    host               TEXT NOT NULL,
+    repro_version      TEXT NOT NULL,
+    created_at         TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaign_chunks (
+    key         TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    payload     BLOB NOT NULL,
+    PRIMARY KEY (key, chunk_index)
 )
 """
+
+#: Columns added after the v1 schema shipped; ``ALTER TABLE`` is
+#: applied opportunistically so a store file created by an older
+#: version keeps working in place.
+_MIGRATIONS = (
+    "ALTER TABLE campaign_results ADD COLUMN uncompressed_bytes INTEGER",
+    "ALTER TABLE campaign_results ADD COLUMN compressed_bytes INTEGER",
+)
 
 
 class CachedCampaignResult(CampaignResult):
@@ -47,13 +86,52 @@ class CachedCampaignResult(CampaignResult):
     golden trace is not archived; recompute it if you need it).
     ``wall_time`` reports the wall time of the *original* execution,
     so time-reporting consumers render the same numbers either way.
+    On a v2 hit ``runs`` is a lazy :class:`StoredRuns` chunk iterator
+    bound to the open store — drain it (or copy what you need) before
+    closing the store.
     """
 
     cached = True
 
 
+def _encode_rows(records):
+    """Canonical JSON rows for a records iterable of
+    ``(planned, effect, signature)`` (extra fields ignored)."""
+    rows = []
+    for planned, effect, signature, *_ in records:
+        rows.append([planned.injection.cycle, planned.injection.reg,
+                     planned.injection.bit, planned.pp, planned.rep,
+                     planned.epoch, effect, signature.hex()])
+    return rows
+
+
+def _decode_row(row):
+    cycle, reg, bit, pp, rep, epoch, effect, signature_hex = row
+    return (PlannedRun(Injection(cycle, reg, bit), pp, rep, epoch),
+            effect, bytes.fromhex(signature_hex))
+
+
+def encode_chunk(records):
+    """zlib-compressed archive blob of one records chunk; returns
+    ``(blob, uncompressed_size)``."""
+    raw = json.dumps(_encode_rows(records), sort_keys=True,
+                     separators=(",", ":")).encode()
+    return zlib.compress(raw), len(raw)
+
+
+def decode_chunk(blob):
+    """The ``(planned, effect, signature)`` records of one chunk."""
+    return [_decode_row(row)
+            for row in json.loads(zlib.decompress(blob))]
+
+
 def encode_result(result):
-    """JSON payload for one result (schema :data:`SCHEMA_VERSION`)."""
+    """Legacy v1 codec: the whole result as one JSON payload.
+
+    Kept for reading stores written before the chunked layout (and as
+    the round-trip reference the chunked parity tests compare
+    against); new archives are written chunked by :class:`ChunkWriter`.
+    """
     sizes = {signature.hex(): size
              for signature, size in result.trace_sizes().items()}
     runs = []
@@ -71,7 +149,8 @@ def encode_result(result):
 
 
 def decode_result(payload):
-    """Rebuild a :class:`CachedCampaignResult` from a stored payload."""
+    """Rebuild a :class:`CachedCampaignResult` from a legacy (v1)
+    whole-campaign payload."""
     data = json.loads(payload)
     sizes = data["sizes"]
     result = CachedCampaignResult(golden=None)
@@ -87,6 +166,131 @@ def decode_result(payload):
     return result
 
 
+class StoredRuns:
+    """Lazy chunk-iterating view of an archived run list.
+
+    Mirrors the list ``CampaignResult.runs`` used to be — ``len``,
+    iteration, indexing, ``zip`` against a live result's runs — while
+    keeping at most one decoded chunk in memory, fetched from
+    ``campaign_chunks`` on demand.  Requires the owning store to stay
+    open while iterated.
+    """
+
+    def __init__(self, connection, key, n_runs, n_chunks, chunk_size):
+        self._connection = connection
+        self._key = key
+        self._n_runs = n_runs
+        self._n_chunks = n_chunks
+        self._chunk_size = chunk_size
+        self._cache_index = None
+        self._cache = None
+
+    def __len__(self):
+        return self._n_runs
+
+    def _load(self, chunk_index):
+        if chunk_index == self._cache_index:
+            return self._cache
+        row = self._connection.execute(
+            "SELECT payload FROM campaign_chunks "
+            "WHERE key = ? AND chunk_index = ?",
+            (self._key, chunk_index)).fetchone()
+        if row is None:
+            raise KeyError(
+                f"missing chunk {chunk_index} of {self._key}")
+        records = decode_chunk(row[0])
+        self._cache_index = chunk_index
+        self._cache = records
+        return records
+
+    def __iter__(self):
+        for chunk_index in range(self._n_chunks):
+            yield from self._load(chunk_index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[position]
+                    for position in range(*index.indices(self._n_runs))]
+        if index < 0:
+            index += self._n_runs
+        if not 0 <= index < self._n_runs:
+            raise IndexError("run index out of range")
+        return self._load(index // self._chunk_size)[
+            index % self._chunk_size]
+
+
+class ChunkWriter:
+    """Streams one campaign into the store, chunk by chunk.
+
+    All writes ride a single transaction: any prior archive under the
+    key is deleted, chunks insert as they arrive, and the meta row —
+    aggregates, provenance, compression accounting — lands at
+    :meth:`commit`, which commits everything at once.  Until then
+    readers of the store see the previous state; :meth:`abort` rolls a
+    partial write back.
+    """
+
+    def __init__(self, store, key, chunk_size):
+        self._store = store
+        self._key = key
+        self._chunk_size = chunk_size
+        self._n_chunks = 0
+        self._n_runs = 0
+        self._uncompressed = 0
+        self._compressed = 0
+        connection = store._connection
+        connection.execute(
+            "DELETE FROM campaign_results WHERE key = ?", (key,))
+        connection.execute(
+            "DELETE FROM campaign_chunks WHERE key = ?", (key,))
+
+    def write_chunk(self, records):
+        """Archive the next plan-ordered chunk of
+        ``(planned, effect, signature[, byte_size])`` records."""
+        blob, raw_size = encode_chunk(records)
+        self._store._connection.execute(
+            "INSERT INTO campaign_chunks (key, chunk_index, payload) "
+            "VALUES (?, ?, ?)", (self._key, self._n_chunks, blob))
+        self._n_chunks += 1
+        self._n_runs += len(records)
+        self._uncompressed += raw_size
+        self._compressed += len(blob)
+
+    def commit(self, aggregates, pruned_runs=0, vectorized=False,
+               wall_time=0.0):
+        """Write the meta row and commit the whole archive atomically.
+
+        *aggregates* is the campaign's
+        :class:`repro.fi.campaign.Aggregates` (the sizes map and effect
+        counts are archived so cached hits restore aggregates without a
+        run scan).
+        """
+        meta = json.dumps({
+            "effects": aggregates.effect_counts(),
+            "vulnerable": aggregates.vulnerable,
+            "sizes": {signature.hex(): size for signature, size
+                      in aggregates.trace_sizes().items()},
+            "pruned_runs": pruned_runs,
+            "vectorized": vectorized,
+            "n_chunks": self._n_chunks,
+            "chunk_size": self._chunk_size,
+        }, sort_keys=True, separators=(",", ":"))
+        self._store._connection.execute(
+            "INSERT INTO campaign_results "
+            "(key, schema_version, payload, n_runs, wall_time, host, "
+            " repro_version, created_at, uncompressed_bytes, "
+            " compressed_bytes) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (self._key, SCHEMA_VERSION, meta, self._n_runs, wall_time,
+             platform.node(), repro.__version__,
+             datetime.now(timezone.utc).isoformat(),
+             self._uncompressed, self._compressed))
+        self._store._connection.commit()
+
+    def abort(self):
+        """Discard everything written since the writer opened."""
+        self._store._connection.rollback()
+
+
 class ResultStore:
     """Content-addressed campaign-result store backed by SQLite."""
 
@@ -95,7 +299,12 @@ class ResultStore:
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._connection = sqlite3.connect(path)
-        self._connection.execute(_SCHEMA)
+        self._connection.executescript(_SCHEMA)
+        for statement in _MIGRATIONS:
+            try:
+                self._connection.execute(statement)
+            except sqlite3.OperationalError:
+                pass                     # column already present
         self._connection.commit()
 
     # -- lifecycle ---------------------------------------------------------
@@ -113,42 +322,92 @@ class ResultStore:
 
     def get(self, key):
         """The cached result for *key*, or ``None`` on a miss (also
-        when the entry was written by an incompatible schema)."""
+        when the entry was written by an incompatible or corrupt
+        payload — old rows degrade to a re-execution, never a crash)."""
         row = self._connection.execute(
-            "SELECT schema_version, payload FROM campaign_results "
-            "WHERE key = ?", (key,)).fetchone()
-        if row is None or row[0] != SCHEMA_VERSION:
+            "SELECT schema_version, payload, n_runs, wall_time "
+            "FROM campaign_results WHERE key = ?", (key,)).fetchone()
+        if row is None:
             return None
-        return decode_result(row[1])
+        version, payload, n_runs, wall_time = row
+        if version == 1:
+            try:
+                return decode_result(payload)
+            except (ValueError, KeyError, TypeError):
+                return None              # corrupt legacy payload: miss
+        if version != SCHEMA_VERSION:
+            return None
+        try:
+            meta = json.loads(payload)
+            sizes = {bytes.fromhex(signature_hex): size
+                     for signature_hex, size in meta["sizes"].items()}
+            aggregates = Aggregates.restore(meta["effects"],
+                                            meta["vulnerable"], sizes,
+                                            n_runs)
+            runs = StoredRuns(self._connection, key, n_runs,
+                              meta["n_chunks"], meta["chunk_size"])
+            result = CachedCampaignResult(golden=None, runs=runs,
+                                          aggregates=aggregates)
+            result.pruned_runs = meta["pruned_runs"]
+            result.vectorized = meta["vectorized"]
+            result.wall_time = wall_time
+            return result
+        except (ValueError, KeyError, TypeError):
+            return None                  # corrupt meta row: miss
 
-    def put(self, key, result):
-        """Archive *result* under *key* with provenance."""
-        self._connection.execute(
-            "INSERT OR REPLACE INTO campaign_results "
-            "(key, schema_version, payload, n_runs, wall_time, host, "
-            " repro_version, created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            (key, SCHEMA_VERSION, encode_result(result),
-             len(result.runs), result.wall_time, platform.node(),
-             repro.__version__,
-             datetime.now(timezone.utc).isoformat()))
-        self._connection.commit()
+    def open_writer(self, key, chunk_size=DEFAULT_CHUNK_SIZE):
+        """A :class:`ChunkWriter` streaming a new archive under *key*
+        (the sink protocol's store endpoint)."""
+        return ChunkWriter(self, key, chunk_size)
+
+    def put(self, key, result, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Archive a finished *result* under *key* with provenance.
+
+        Streams the run list through a :class:`ChunkWriter` in
+        ``chunk_size`` groups, so archiving a spooled result never
+        materializes it.
+        """
+        writer = self.open_writer(key, chunk_size)
+        try:
+            buffer = []
+            for record in result.runs:
+                buffer.append(record)
+                if len(buffer) >= chunk_size:
+                    writer.write_chunk(buffer)
+                    buffer = []
+            if buffer:
+                writer.write_chunk(buffer)
+            aggregates = Aggregates.restore(
+                result.effect_counts(), result.vulnerable_runs(),
+                result.trace_sizes(), len(result.runs))
+            writer.commit(aggregates, pruned_runs=result.pruned_runs,
+                          vectorized=result.vectorized,
+                          wall_time=result.wall_time)
+        except BaseException:
+            writer.abort()
+            raise
 
     def provenance(self, key):
         """Provenance dict for *key* (``None`` when absent)."""
         row = self._connection.execute(
             "SELECT n_runs, wall_time, host, repro_version, created_at, "
-            "schema_version FROM campaign_results WHERE key = ?",
+            "schema_version, "
+            "COALESCE(uncompressed_bytes, LENGTH(payload)), "
+            "COALESCE(compressed_bytes, LENGTH(payload)) "
+            "FROM campaign_results WHERE key = ?",
             (key,)).fetchone()
         if row is None:
             return None
         return {"n_runs": row[0], "wall_time": row[1], "host": row[2],
                 "repro_version": row[3], "created_at": row[4],
-                "schema_version": row[5]}
+                "schema_version": row[5], "uncompressed_bytes": row[6],
+                "compressed_bytes": row[7]}
 
     def __contains__(self, key):
         row = self._connection.execute(
             "SELECT 1 FROM campaign_results WHERE key = ? "
-            "AND schema_version = ?", (key, SCHEMA_VERSION)).fetchone()
+            "AND schema_version IN (?, ?)",
+            (key, *READABLE_VERSIONS)).fetchone()
         return row is not None
 
     def __len__(self):
@@ -157,19 +416,34 @@ class ResultStore:
         as they are to :meth:`get` and ``in``)."""
         (count,) = self._connection.execute(
             "SELECT COUNT(*) FROM campaign_results "
-            "WHERE schema_version = ?", (SCHEMA_VERSION,)).fetchone()
+            "WHERE schema_version IN (?, ?)",
+            READABLE_VERSIONS).fetchone()
         return count
 
     def keys(self):
         return [key for (key,) in self._connection.execute(
-            "SELECT key FROM campaign_results WHERE schema_version = ? "
-            "ORDER BY created_at", (SCHEMA_VERSION,))]
+            "SELECT key FROM campaign_results "
+            "WHERE schema_version IN (?, ?) ORDER BY created_at",
+            READABLE_VERSIONS)]
 
     def stats(self):
-        """Aggregate store statistics for reporting."""
+        """Aggregate store statistics for reporting.
+
+        ``uncompressed_bytes`` / ``compressed_bytes`` sum the archived
+        payload sizes before and after chunk compression (v1 rows,
+        stored uncompressed, count their payload length as both), so
+        reports can state the store-size reduction directly.
+        """
         row = self._connection.execute(
             "SELECT COUNT(*), COALESCE(SUM(n_runs), 0), "
-            "COALESCE(SUM(wall_time), 0.0) FROM campaign_results "
-            "WHERE schema_version = ?", (SCHEMA_VERSION,)).fetchone()
+            "COALESCE(SUM(wall_time), 0.0), "
+            "COALESCE(SUM(COALESCE(uncompressed_bytes, "
+            "                      LENGTH(payload))), 0), "
+            "COALESCE(SUM(COALESCE(compressed_bytes, "
+            "                      LENGTH(payload))), 0) "
+            "FROM campaign_results WHERE schema_version IN (?, ?)",
+            READABLE_VERSIONS).fetchone()
         return {"results": row[0], "archived_runs": row[1],
-                "archived_wall_time": row[2]}
+                "archived_wall_time": row[2],
+                "uncompressed_bytes": row[3],
+                "compressed_bytes": row[4]}

@@ -21,9 +21,12 @@ key — a result produced by one schedule is valid under every other.
   planned run, in plan order),
 * the engine config (:func:`canonical_config`).
 
-Bump :data:`SCHEMA_VERSION` whenever the key recipe or the stored
-payload layout changes; old store entries then miss cleanly instead of
-decoding garbage.
+Versioning is split on purpose.  Bump :data:`KEY_VERSION` only when
+the key *recipe* changes (what is digested) — that invalidates every
+address, so results must be recomputed.  Bump :data:`SCHEMA_VERSION`
+when only the stored *payload layout* changes: addresses stay stable,
+and the store keeps a read path for older payload versions, so a store
+written before the bump still serves hits instead of re-simulating.
 """
 
 import hashlib
@@ -32,8 +35,15 @@ import json
 from repro.errors import SimulationError
 from repro.ir.printer import format_function
 
-#: Version stamp of both the key recipe and the payload layout.
-SCHEMA_VERSION = 1
+#: Version stamp of the key recipe (the digested payload below).
+KEY_VERSION = 1
+
+#: Version stamp of the stored payload layout.  v1: one monolithic
+#: JSON run list per row; v2: chunked, zlib-compressed run segments in
+#: ``campaign_chunks`` with an aggregate meta row.  The store reads
+#: both (see :data:`repro.store.db.READABLE_VERSIONS`) and writes the
+#: newest.
+SCHEMA_VERSION = 2
 
 #: Engine knobs excluded from the key: campaign aggregates are
 #: bit-identical across them (the engine's parity invariants), so one
@@ -83,7 +93,7 @@ def campaign_key(function, plan, regs=None, memory_image=None,
                  memory_size=1 << 16, config=None):
     """Hex digest addressing one campaign cell in the store."""
     payload = {
-        "schema": SCHEMA_VERSION,
+        "schema": KEY_VERSION,
         "function": format_function(function),
         "memory_image": bytes(memory_image or b"").hex(),
         "memory_size": memory_size,

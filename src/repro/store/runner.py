@@ -6,11 +6,18 @@ consumer shares (``repro sweep``, the experiment harnesses, the CLI's
 cell, return the archived result on a hit, otherwise execute the plan
 through :class:`repro.fi.engine.CampaignEngine` and archive the
 outcome.  Because the key excludes the parity knobs (``workers``,
-``checkpoint_interval``, ``batch_lanes``), a result computed serially
-is a hit for a 16-worker request and vice versa.
+``checkpoint_interval``, ``batch_lanes``, ``chunk_size``), a result
+computed serially is a hit for a 16-worker request and vice versa.
+
+Both directions of the store dataflow stream: a miss attaches a
+:class:`repro.fi.sink.StoreWriterSink` so chunks archive as the engine
+retires them (rolled back if the campaign fails mid-flight), and a hit
+replays the archive as a lazy chunk iterator — neither path holds more
+than O(chunk_size) records.
 """
 
 from repro.fi.engine import CampaignEngine
+from repro.fi.sink import StoreWriterSink
 from repro.store.keys import campaign_key
 
 
@@ -44,7 +51,8 @@ class CachingRunner:
 
     def run(self, machine, plan, regs=None, golden=None, max_cycles=None,
             workers=1, checkpoint_interval=None, prune=None,
-            batch_lanes=None, harden="none", budget=None, progress=None):
+            batch_lanes=None, harden="none", budget=None, progress=None,
+            chunk_size=None):
         """Cached :class:`repro.fi.campaign.CampaignResult` for the
         cell, executing (and archiving) it on a miss.
 
@@ -62,13 +70,18 @@ class CachingRunner:
                 return cached
         engine = CampaignEngine(machine, plan, regs=regs, golden=golden,
                                 max_cycles=max_cycles)
-        result = engine.run(workers=workers,
-                            checkpoint_interval=checkpoint_interval,
-                            progress=progress,
-                            prune=None if prune in (None, "none")
-                            else prune,
-                            batch_lanes=batch_lanes)
-        self.store.put(key, result)
+        writer = StoreWriterSink(self.store, key)
+        try:
+            result = engine.run(workers=workers,
+                                checkpoint_interval=checkpoint_interval,
+                                progress=progress,
+                                prune=None if prune in (None, "none")
+                                else prune,
+                                batch_lanes=batch_lanes, sink=writer,
+                                chunk_size=chunk_size)
+        except BaseException:
+            writer.abort()
+            raise
         self.misses += 1
         self.simulator_runs += len(plan) - result.pruned_runs
         return result

@@ -19,6 +19,7 @@ canonical shape::
     prune = "none"                         # or "liveness"
     max_runs = 200                         # cap each cell's plan
     batch_lanes = 256                      # lockstep lanes (batched core)
+    chunk_size = 2048                      # streamed records per chunk
 
 The same structure as JSON (``{"grid": {...}, "engine": {...}}``) is
 accepted everywhere TOML is, and is the only format on Python < 3.11
@@ -130,7 +131,8 @@ class SweepSpec:
         self.cores = _listed(grid, "cores", ("threaded",), Machine.CORES)
         engine = data.get("engine", {})
         unknown = set(engine) - {"workers", "checkpoint_interval",
-                                 "prune", "max_runs", "batch_lanes"}
+                                 "prune", "max_runs", "batch_lanes",
+                                 "chunk_size"}
         if unknown:
             raise SweepSpecError(
                 f"unknown engine keys: {sorted(unknown)}")
@@ -149,6 +151,11 @@ class SweepSpec:
         self.batch_lanes = engine.get("batch_lanes")
         if self.batch_lanes is not None:
             self.batch_lanes = int(self.batch_lanes)
+        self.chunk_size = engine.get("chunk_size")
+        if self.chunk_size is not None:
+            self.chunk_size = int(self.chunk_size)
+            if self.chunk_size < 1:
+                raise SweepSpecError("engine.chunk_size must be >= 1")
 
     def cells(self):
         """The expanded grid, in deterministic spec order.

@@ -127,7 +127,7 @@ class SweepRunner:
             self._plans[key] = plan
         return self._plans[key]
 
-    def run_cell(self, cell):
+    def run_cell(self, cell, progress=None):
         variant = self._variant(cell.kernel, cell.harden, cell.budget)
         plan = self._plan(cell, variant)
         machine = Machine(variant["function"],
@@ -138,7 +138,8 @@ class SweepRunner:
             golden=variant["golden"], workers=self.workers,
             checkpoint_interval=self.spec.checkpoint_interval or None,
             prune=self.spec.prune, batch_lanes=self.spec.batch_lanes,
-            harden=cell.harden, budget=cell.budget)
+            harden=cell.harden, budget=cell.budget, progress=progress,
+            chunk_size=self.spec.chunk_size)
         overhead = None
         if cell.harden != "none":
             base = self._variant(cell.kernel, "none", None)["golden"]
@@ -154,12 +155,21 @@ class SweepRunner:
             wall_time=result.wall_time,
             golden_cycles=variant["golden"].cycles, overhead=overhead)
 
-    def run(self, progress=None):
+    def run(self, progress=None, run_progress=None):
+        """Execute every cell.  ``progress(done, total, outcome)`` fires
+        per finished cell; ``run_progress(cell, done, total)`` streams
+        run-level advancement *within* each executing cell (wired to
+        the engine's :class:`repro.fi.sink.ProgressSink`, so cache hits
+        and pruned runs report too)."""
         start = time.perf_counter()
         cells = self.spec.cells()
         outcomes = []
         for index, cell in enumerate(cells):
-            outcome = self.run_cell(cell)
+            cell_progress = None
+            if run_progress is not None:
+                def cell_progress(done, total, _cell=cell):
+                    run_progress(_cell, done, total)
+            outcome = self.run_cell(cell, progress=cell_progress)
             outcomes.append(outcome)
             if progress is not None:
                 progress(index + 1, len(cells), outcome)
@@ -172,10 +182,12 @@ class SweepRunner:
             store_stats=self.store.stats())
 
 
-def run_sweep(spec, store, workers=None, force=False, progress=None):
+def run_sweep(spec, store, workers=None, force=False, progress=None,
+              run_progress=None):
     """Expand *spec*, execute/skip every cell, return the report."""
     return SweepRunner(spec, store, workers=workers,
-                       force=force).run(progress=progress)
+                       force=force).run(progress=progress,
+                                        run_progress=run_progress)
 
 
 class SweepReport:
@@ -257,6 +269,15 @@ class SweepReport:
             f"({self.cells_run} executed, {self.cells_cached} cached)",
             f"- simulator runs this invocation: {self.simulator_runs}",
             f"- wall time: {self.wall_time:.2f} s",
+        ]
+        uncompressed = self.store_stats.get("uncompressed_bytes", 0)
+        compressed = self.store_stats.get("compressed_bytes", 0)
+        if uncompressed:
+            reduction = 1 - compressed / uncompressed
+            lines.append(
+                f"- archived payload: {compressed} B compressed "
+                f"({uncompressed} B raw, {reduction:.0%} smaller)")
+        lines += [
             "",
             "| kernel | mode | harden | budget | core | runs | sdc | "
             "detected | masked | distinct | cached | time (s) |",

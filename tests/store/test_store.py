@@ -164,3 +164,77 @@ class TestSchemaVersioning:
         assert key not in store
         rerun = runner.run(machine, plan, golden=golden)
         assert not rerun.cached
+
+
+def _downgrade_to_v1(store, key):
+    """Rewrite *key*'s archive in the pre-chunking v1 layout: one
+    monolithic ``encode_result`` payload in the meta row, no chunk
+    rows, no compression accounting — what a store written before the
+    schema bump looks like on disk."""
+    payload = encode_result(store.get(key))     # before dropping chunks
+    store._connection.execute(
+        "DELETE FROM campaign_chunks WHERE key = ?", (key,))
+    store._connection.execute(
+        "UPDATE campaign_results SET schema_version = 1, payload = ?, "
+        "uncompressed_bytes = NULL, compressed_bytes = NULL "
+        "WHERE key = ?", (payload, key))
+    store._connection.commit()
+
+
+class TestSchemaMigration:
+    """A store written before the chunked-payload bump keeps working:
+    same keys, clean hits, zero re-execution — and a corrupt legacy
+    payload degrades to a miss, never a crash."""
+
+    def test_v1_row_is_a_hit_with_zero_reruns(self, store, machine,
+                                              plan, golden):
+        populate = CachingRunner(store)
+        fresh = populate.run(machine, plan, golden=golden)
+        key = populate.key_for(machine, plan)
+        _downgrade_to_v1(store, key)
+        assert key in store and len(store) == 1
+        warm = CachingRunner(store)
+        cached = warm.run(machine, plan, golden=golden)
+        assert cached.cached
+        assert warm.simulator_runs == 0
+        assert (warm.hits, warm.misses) == (1, 0)
+        assert_same_aggregates(fresh, cached)
+
+    def test_corrupt_v1_payload_misses_cleanly(self, store, machine,
+                                               plan, golden):
+        populate = CachingRunner(store)
+        fresh = populate.run(machine, plan, golden=golden)
+        key = populate.key_for(machine, plan)
+        _downgrade_to_v1(store, key)
+        store._connection.execute(
+            "UPDATE campaign_results SET payload = ? WHERE key = ?",
+            ('{"runs": [[]], "sizes": {}}', key))
+        store._connection.commit()
+        assert store.get(key) is None
+        rerun = CachingRunner(store).run(machine, plan, golden=golden)
+        assert not rerun.cached
+        assert_same_aggregates(fresh, rerun)
+
+    def test_chunked_roundtrip_matches_legacy_encoder(
+            self, store, machine, plan, golden):
+        from repro.fi.engine import CampaignEngine
+        result = CampaignEngine(machine, plan, golden=golden).run()
+        store.put("chunked", result, chunk_size=7)
+        legacy = decode_result(encode_result(result))
+        chunked = store.get("chunked")
+        assert_same_aggregates(legacy, chunked)
+        assert chunked.pruned_runs == legacy.pruned_runs
+        assert chunked.vectorized == legacy.vectorized
+        assert chunked.wall_time == legacy.wall_time
+
+    def test_compression_accounting(self, store, machine, plan, golden):
+        runner = CachingRunner(store)
+        runner.run(machine, plan, golden=golden)
+        provenance = store.provenance(runner.key_for(machine, plan))
+        assert 0 < provenance["compressed_bytes"] \
+            < provenance["uncompressed_bytes"]
+        stats = store.stats()
+        assert stats["compressed_bytes"] \
+            == provenance["compressed_bytes"]
+        assert stats["uncompressed_bytes"] \
+            == provenance["uncompressed_bytes"]
