@@ -16,6 +16,7 @@ Usage (``python -m repro <command> ...``)::
     memory   FILE.{mc,ir} [--execute]          memory-cell fault space
     fuzz     [--count N] [--seed N]            random-program soundness
     sweep    SPEC.{toml,json} --store DB       cached campaign grid
+    store    verify DB                         audit a result store
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
@@ -417,7 +418,12 @@ def cmd_sweep(options):
         def progress(done, total, outcome):
             _clear_line()
             cell = outcome.cell
-            label = "hit " if outcome.cached else "run "
+            if outcome.error is not None:
+                label = "FAIL"
+            elif outcome.cached:
+                label = "hit "
+            else:
+                label = "run "
             budget = "" if cell.budget is None \
                 else f" budget={cell.budget:.2f}"
             print(f"  [{done}/{total}] {label} {cell.kernel} "
@@ -428,7 +434,9 @@ def cmd_sweep(options):
         try:
             report = run_sweep(spec, store, workers=options.workers,
                                force=options.force, progress=progress,
-                               run_progress=run_progress)
+                               run_progress=run_progress,
+                               max_retries=options.max_retries,
+                               continue_on_error=True)
         except (KeyError, OSError, ValueError, RuntimeError,
                 ReproError) as error:
             # Unknown registry kernel, unreadable/uncompilable kernel
@@ -452,7 +460,41 @@ def cmd_sweep(options):
         with open(options.markdown, "w", encoding="utf-8") as handle:
             handle.write(report.to_markdown())
         print(f"wrote {options.markdown}")
+    if report.cells_failed:
+        for outcome in report.failed:
+            cell = outcome.cell
+            print(f"FAILED cell: {cell.kernel} mode={cell.mode} "
+                  f"harden={cell.harden} core={cell.core} — "
+                  f"{outcome.error}", file=sys.stderr)
+        return 1
     return 0
+
+
+def cmd_store_verify(options):
+    from repro.store import ResultStore
+
+    with ResultStore(options.db) as store:
+        report = store.verify()
+    print(f"store {options.db}: {report['results']} results, "
+          f"{report['chunks']} chunks audited — "
+          f"{'OK' if report['ok'] else 'CORRUPT'}")
+    for entry in report["corrupt"]:
+        where = "meta row" if entry["chunk_index"] < 0 \
+            else f"chunk {entry['chunk_index']}"
+        print(f"  corrupt: key={entry['key']} {where}: "
+              f"{entry['reason']}", file=sys.stderr)
+    if report["quarantined"]:
+        print(f"  quarantined rows: {report['quarantined']} "
+              f"(re-executing the affected cells rewrites and clears "
+              f"them)")
+    if options.json:
+        import json
+
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {options.json}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_dot(options):
@@ -692,6 +734,27 @@ def build_parser():
                      help="write the consolidated report as markdown")
     sub.add_argument("--progress", action="store_true",
                      help="print one line per finished cell to stderr")
+    sub.add_argument("--max-retries", type=int, default=None,
+                     metavar="N",
+                     help="re-attempts per failing cell before it is "
+                          "recorded as FAILED (default: the spec's "
+                          "engine.max_retries, else 0); any cell that "
+                          "ultimately fails makes the sweep exit "
+                          "nonzero after finishing the rest")
+
+    store_cmd = commands.add_parser(
+        "store", help="result-store maintenance")
+    store_sub = store_cmd.add_subparsers(dest="store_command",
+                                         required=True)
+    sub = store_sub.add_parser(
+        "verify",
+        help="audit every archived result (digests, chunk presence, "
+             "decodability); corrupt rows are quarantined and exit "
+             "status is nonzero")
+    sub.set_defaults(handler=cmd_store_verify)
+    sub.add_argument("db", help="result store database file")
+    sub.add_argument("--json", metavar="PATH",
+                     help="write the audit report as JSON")
 
     sub = commands.add_parser(
         "fuzz", help="random-program differential soundness check")

@@ -8,6 +8,7 @@ from repro.fi.campaign import (EFFECT_BENIGN, EFFECT_MASKED, EFFECT_SDC,
                                classify_effect, golden_run, plan_bec,
                                plan_exhaustive, plan_inject_on_read,
                                run_campaign)
+from repro.fi.chaos import ChaosError, ChaosPolicy
 from repro.fi.machine import (DEFAULT_MAX_CYCLES, Injection, Machine,
                               MemoryInjection)
 from repro.fi.prune import LivenessPruner
@@ -23,6 +24,8 @@ __all__ = [
     "AVFEstimate",
     "BitInstance",
     "CampaignResult",
+    "ChaosError",
+    "ChaosPolicy",
     "DEFAULT_MAX_CYCLES",
     "EFFECT_BENIGN",
     "EFFECT_MASKED",

@@ -209,7 +209,8 @@ def classify_effect(golden, injected):
 
 def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
                  workers=1, checkpoint_interval=None, progress=None,
-                 prune=None, batch_lanes=None, sink=None, chunk_size=None):
+                 prune=None, batch_lanes=None, sink=None, chunk_size=None,
+                 chaos=None):
     """Execute every planned run; returns a :class:`CampaignResult`.
 
     ``machine`` must wrap the same function the plan was made for; the
@@ -218,7 +219,9 @@ def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
     ``checkpoint_interval``, ``prune`` and (on a ``core="batched"``
     machine) lockstep vectorization opt into accelerated execution
     with bit-identical aggregates; ``sink``/``chunk_size`` stream the
-    record chunks to a :class:`repro.fi.sink.RunSink` as they retire.
+    record chunks to a :class:`repro.fi.sink.RunSink` as they retire;
+    ``chaos`` threads a :class:`repro.fi.chaos.ChaosPolicy` through the
+    pipeline for deterministic self-fault-injection.
     """
     from repro.fi.engine import CampaignEngine
 
@@ -228,7 +231,7 @@ def run_campaign(machine, plan, regs=None, golden=None, max_cycles=None,
                       checkpoint_interval=checkpoint_interval,
                       progress=progress, prune=prune,
                       batch_lanes=batch_lanes, sink=sink,
-                      chunk_size=chunk_size)
+                      chunk_size=chunk_size, chaos=chaos)
 
 
 def golden_run(function, regs=None, memory_image=None, memory_size=1 << 16,

@@ -12,18 +12,26 @@ cycle.  This module is the production engine behind it:
   O(runs × avg-tail).  This is the standard acceleration campaign tools
   built around SPIKE-style ISA simulators use to make exhaustive
   register-file sweeps (the paper's Table I baseline) tractable.
-* **Parallelism** (``workers=N``): the plan is dealt into strided
-  (round-robin) chunks executed by ``fork``-ed worker processes, so
-  the expensive early-cycle injections — whose resumed tails span
-  nearly the whole trace — spread evenly across workers instead of
-  serializing in the first contiguous chunk.  Workers stream finished
-  ``chunk_size`` segments back over a queue; the parent un-deals them
-  back into plan order (:class:`repro.fi.sink.StridedUndealer`) before
-  any consumer sees a record, so the resulting
+* **Supervised parallelism** (``workers=N``): the plan is dealt into
+  strided (round-robin) chunks executed by ``fork``-ed worker
+  processes, so the expensive early-cycle injections — whose resumed
+  tails span nearly the whole trace — spread evenly across workers
+  instead of serializing in the first contiguous chunk.  Each worker
+  streams finished ``chunk_size`` segments back over its own pipe;
+  the parent *supervises* while it drains — multiplexing the pipes
+  with a timeout, polling worker exitcodes, and detecting a worker
+  that died without finishing (SIGKILL, OOM, a crashed interpreter).
+  A dead worker's unfinished segments are re-assigned to a respawned
+  worker with bounded retries and exponential backoff; when respawn
+  keeps failing the engine degrades gracefully and finishes the
+  missing segments serially in the parent.  Every recovery path
+  re-enters the same plan-order un-deal
+  (:class:`repro.fi.sink.StridedUndealer`), so the resulting
   :class:`CampaignResult` — run order, ``effect_counts()``,
   ``vulnerable_runs()``, ``distinct_traces`` — is bit-identical to the
-  serial baseline.  Platforms without the ``fork`` start method fall
-  back to serial execution (same results, no speedup).
+  serial baseline no matter which workers survived.  Platforms
+  without the ``fork`` start method fall back to serial execution
+  (same results, no speedup).
 * **Lockstep vectorization** (a machine built with
   ``core="batched"``): the plan is executed SIMD-across-faults by
   :mod:`repro.fi.batch` — one NumPy lane per planned injection running
@@ -41,15 +49,24 @@ cycle.  This module is the production engine behind it:
   aggregates and the ``CampaignResult.runs`` disk spool ride the same
   stream, so peak resident per-run records are O(chunk_size) on the
   serial path and O(chunk_size × workers) on the parallel path —
-  independent of plan length.
+  independent of plan length.  If a sink raises mid-stream (disk
+  full, a failing store) the engine tears every sink down through its
+  ``abort()`` hook before re-raising, so aborted campaigns leak no
+  spool files or partial archives.
+* **Chaos injection** (``chaos=ChaosPolicy()``): the engine consults a
+  deterministic :class:`repro.fi.chaos.ChaosPolicy` at named points —
+  workers fire ``worker.segment`` (where a rule can SIGKILL them) and
+  the sink fan-out fires ``sink.consume`` — so every recovery path
+  above is exercised by tests instead of merely claimed.
 
 All knobs compose and every combination preserves bit-identical
 aggregates; snapshots and the batch classifier are built in the parent
-before the pool forks, so workers inherit them for free.
+before the workers fork, so they inherit them for free.
 """
 
 import multiprocessing
 import time
+from multiprocessing import connection as mp_connection
 
 from repro.errors import SimulationError
 from repro.fi import batch
@@ -142,37 +159,239 @@ class _WorkerContext:
         return records
 
 
-_WORKER = None
-_WORKER_QUEUE = None
-_WORKER_CHUNK_SIZE = None
+#: Seconds the supervisor waits on the worker pipes before polling
+#: exitcodes.  Death is normally detected event-driven (a dead worker's
+#: pipe reads EOF immediately), so this only bounds the poll latency of
+#: pathological cases.
+SUPERVISOR_POLL_INTERVAL = 0.25
+
+#: Default respawn budget per strided chunk before the supervisor
+#: degrades that chunk to serial in-parent execution.
+DEFAULT_WORKER_RETRIES = 2
+
+#: Base of the exponential respawn backoff, in seconds (doubles per
+#: retry of the same chunk).
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
-def _init_worker(context, queue, chunk_size):
-    global _WORKER, _WORKER_QUEUE, _WORKER_CHUNK_SIZE
-    _WORKER = context
-    _WORKER_QUEUE = queue
-    _WORKER_CHUNK_SIZE = chunk_size
+def _worker_main(context, conn, chunk_index, n_chunks, chunk_size,
+                 segments, attempt, chaos):
+    """One forked worker: classify the listed ``chunk_size`` segments
+    of strided chunk ``todo[chunk_index::n_chunks]`` and stream each
+    back as a ``("segment", index, records)`` message on *conn*.
 
-
-def _run_chunk(chunk):
-    """One strided chunk — every ``n_chunks``-th pending plan index,
-    starting at ``chunk_index`` (round-robin deal) — streamed back to
-    the parent as ``(chunk_index, segment_index, records)`` messages,
-    one per retired ``chunk_size`` segment."""
-    chunk_index, n_chunks = chunk
-    context = _WORKER
-    queue = _WORKER_QUEUE
-    chunk_size = _WORKER_CHUNK_SIZE
+    A clean exit ends with ``("done",)``; a Python exception is
+    reported as ``("error", message)`` (deterministic failures are not
+    worth retrying).  Death by signal sends nothing — the supervisor
+    detects the EOF/exitcode and re-assigns whatever is missing."""
     mine = context.todo[chunk_index::n_chunks]
     try:
-        for segment_index, low in enumerate(range(0, len(mine),
-                                                  chunk_size)):
+        for segment_index in segments:
+            if chaos is not None:
+                chaos.fire("worker.segment", chunk=chunk_index,
+                           segment=segment_index, attempt=attempt)
+            low = segment_index * chunk_size
             records = context.classify_indices(mine[low:low + chunk_size])
-            queue.put((chunk_index, segment_index, records))
-    except Exception as exc:            # surfaced by the parent drain loop
-        queue.put((-1, -1, f"{type(exc).__name__}: {exc}"))
+            conn.send(("segment", segment_index, records))
+        conn.send(("done",))
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass                        # parent gone; nothing to report
         raise
-    return chunk_index
+    finally:
+        conn.close()
+
+
+class _ChunkState:
+    """Supervisor-side bookkeeping for one strided chunk."""
+
+    __slots__ = ("index", "n_segments", "received", "attempt", "process",
+                 "conn")
+
+    def __init__(self, index, n_segments):
+        self.index = index
+        self.n_segments = n_segments
+        self.received = set()           # segment indices already drained
+        self.attempt = 0                # times a worker was started
+        self.process = None
+        self.conn = None
+
+    @property
+    def missing(self):
+        return [segment for segment in range(self.n_segments)
+                if segment not in self.received]
+
+    @property
+    def complete(self):
+        return len(self.received) == self.n_segments
+
+
+class _Supervisor:
+    """Spawns, monitors and heals the strided campaign workers.
+
+    One worker per chunk, one pipe per worker: a SIGKILLed worker
+    closes its pipe, so death is observed as an EOF (or a truncated
+    message) rather than an eternal ``queue.get()``.  Unfinished
+    segments of a dead worker are re-run by a respawned worker —
+    ``worker_retries`` times with exponential backoff — and finally
+    in-parent, serially, so the campaign always terminates with the
+    full plan-ordered record stream intact."""
+
+    def __init__(self, context, n_chunks, chunk_size, assembler,
+                 undealer, chaos=None,
+                 worker_retries=DEFAULT_WORKER_RETRIES,
+                 retry_backoff=DEFAULT_RETRY_BACKOFF):
+        self.context = context
+        self.n_chunks = n_chunks
+        self.chunk_size = chunk_size
+        self.assembler = assembler
+        self.undealer = undealer
+        self.chaos = chaos
+        self.worker_retries = worker_retries
+        self.retry_backoff = retry_backoff
+        self.mp = multiprocessing.get_context("fork")
+        self.chunks = []
+        for index in range(n_chunks):
+            mine = context.todo[index::n_chunks]
+            self.chunks.append(_ChunkState(
+                index, -(-len(mine) // chunk_size)))
+        self.recoveries = 0             # dead workers healed
+        self.serial_chunks = 0          # chunks finished in-parent
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self):
+        try:
+            for state in self.chunks:
+                self._spawn(state)
+            self._drain()
+        finally:
+            self._shutdown()
+
+    def _spawn(self, state):
+        """Start (or restart) the worker for *state*, handing it the
+        still-missing segments.  Falls back to in-parent execution when
+        process creation itself is refused."""
+        parent_conn, child_conn = self.mp.Pipe(duplex=False)
+        process = self.mp.Process(
+            target=_worker_main,
+            args=(self.context, child_conn, state.index, self.n_chunks,
+                  self.chunk_size, state.missing, state.attempt,
+                  self.chaos))
+        try:
+            process.start()
+        except OSError:
+            # Process creation refused (sandbox, rlimits): same
+            # results, just without the speedup.
+            parent_conn.close()
+            child_conn.close()
+            self._finish_serially(state)
+            return
+        child_conn.close()              # let a dead worker read as EOF
+        state.process = process
+        state.conn = parent_conn
+        state.attempt += 1
+
+    def _drain(self):
+        while True:
+            active = {state.conn: state for state in self.chunks
+                      if state.conn is not None}
+            if not active:
+                if all(state.complete for state in self.chunks):
+                    return
+                raise SimulationError(
+                    "campaign supervisor lost workers without "
+                    "completing the plan")   # unreachable by design
+            ready = mp_connection.wait(list(active),
+                                       timeout=SUPERVISOR_POLL_INTERVAL)
+            if not ready:
+                self._poll_exitcodes(active.values())
+                continue
+            for conn in ready:
+                self._service(active[conn])
+
+    def _service(self, state):
+        """Read one message from a ready worker pipe; an EOF or a
+        truncated/undecodable message means the worker is gone."""
+        try:
+            message = state.conn.recv()
+        except (EOFError, OSError):
+            self._worker_ended(state)
+            return
+        kind = message[0]
+        if kind == "segment":
+            _, segment_index, records = message
+            if segment_index not in state.received:
+                state.received.add(segment_index)
+                self.assembler.push(self.undealer.add(
+                    state.index, segment_index, records))
+        elif kind == "done":
+            self._retire(state)
+            if not state.complete:      # claimed done but segments miss
+                self._recover(state)
+        elif kind == "error":
+            raise SimulationError(f"campaign worker failed: {message[1]}")
+
+    def _poll_exitcodes(self, states):
+        """Timeout path: reap workers that exited without their pipe
+        reporting ready (belt and braces — exit normally closes the
+        pipe and wakes the drain loop)."""
+        for state in list(states):
+            process = state.process
+            if process is not None and process.exitcode is not None \
+                    and not state.conn.poll(0):
+                self._worker_ended(state)
+
+    def _worker_ended(self, state):
+        """The worker's pipe hit EOF (or went unreadable): reap it and
+        recover whatever it left unfinished."""
+        self._retire(state)
+        if not state.complete:
+            self._recover(state)
+
+    def _retire(self, state):
+        if state.conn is not None:
+            state.conn.close()
+            state.conn = None
+        if state.process is not None:
+            state.process.join()
+            state.process = None
+
+    def _recover(self, state):
+        """Re-assign a dead worker's missing segments: bounded respawn
+        with exponential backoff, then serial in-parent execution."""
+        self.recoveries += 1
+        if state.attempt > self.worker_retries:
+            self._finish_serially(state)
+            return
+        time.sleep(self.retry_backoff * (1 << (state.attempt - 1)))
+        self._spawn(state)
+
+    def _finish_serially(self, state):
+        """Last resort (and the no-fork fallback): classify the
+        chunk's missing segments in the parent.  Identical records by
+        construction — same indices, same classifier."""
+        self.serial_chunks += 1
+        mine = self.context.todo[state.index::self.n_chunks]
+        for segment_index in state.missing:
+            low = segment_index * self.chunk_size
+            records = self.context.classify_indices(
+                mine[low:low + self.chunk_size])
+            state.received.add(segment_index)
+            self.assembler.push(self.undealer.add(
+                state.index, segment_index, records))
+
+    def _shutdown(self):
+        for state in self.chunks:
+            if state.conn is not None:
+                state.conn.close()
+                state.conn = None
+            if state.process is not None:
+                state.process.terminate()
+                state.process.join()
+                state.process = None
 
 
 class CampaignEngine:
@@ -194,23 +413,34 @@ class CampaignEngine:
             else machine.run(regs=regs)
         self.max_cycles = max_cycles if max_cycles is not None \
             else max(4 * self.golden.cycles + 256, 1024)
+        self.recoveries = 0              # dead workers healed, last run
+        self.serial_degraded_chunks = 0  # chunks finished in-parent
 
     def run(self, workers=1, checkpoint_interval=None, progress=None,
-            prune=None, batch_lanes=None, sink=None, chunk_size=None):
+            prune=None, batch_lanes=None, sink=None, chunk_size=None,
+            chaos=None, worker_retries=DEFAULT_WORKER_RETRIES,
+            retry_backoff=DEFAULT_RETRY_BACKOFF):
         """Execute the whole plan; returns a :class:`CampaignResult`.
 
-        ``workers`` > 1 forks that many processes; ``checkpoint_interval``
-        enables snapshot/resume at that cycle granularity (auto-enabled
-        on a batched machine, which needs the snapshots as lane join
-        points); ``prune="liveness"`` pre-classifies provably
-        overwritten-before-read injections without simulation;
-        ``batch_lanes`` sets the lockstep lane count; ``progress`` is an
-        optional ``callable(done, total)`` invoked as chunks retire;
-        ``sink`` is an optional extra :class:`repro.fi.sink.RunSink`
-        receiving the plan-ordered record stream (e.g. a store writer);
-        ``chunk_size`` bounds resident records per streamed chunk
-        (default :data:`DEFAULT_CHUNK_SIZE`) — a parity knob, never an
-        aggregate-changing one.
+        ``workers`` > 1 forks that many supervised processes;
+        ``checkpoint_interval`` enables snapshot/resume at that cycle
+        granularity (auto-enabled on a batched machine, which needs the
+        snapshots as lane join points); ``prune="liveness"``
+        pre-classifies provably overwritten-before-read injections
+        without simulation; ``batch_lanes`` sets the lockstep lane
+        count; ``progress`` is an optional ``callable(done, total)``
+        invoked as chunks retire; ``sink`` is an optional extra
+        :class:`repro.fi.sink.RunSink` receiving the plan-ordered
+        record stream (e.g. a store writer); ``chunk_size`` bounds
+        resident records per streamed chunk (default
+        :data:`DEFAULT_CHUNK_SIZE`) — a parity knob, never an
+        aggregate-changing one.  ``chaos`` threads a deterministic
+        :class:`repro.fi.chaos.ChaosPolicy` through the workers and the
+        sink fan-out; ``worker_retries`` bounds how often a dead
+        worker's chunk is respawned (with ``retry_backoff``-seconds
+        exponential backoff) before the engine degrades that chunk to
+        serial in-parent execution — recovery knobs never change
+        aggregates.
         """
         if prune not in PRUNE_MODES:
             raise SimulationError(f"unknown prune mode {prune!r}")
@@ -221,6 +451,10 @@ class CampaignEngine:
         elif chunk_size < 1:
             raise SimulationError("chunk size must be positive")
         start = time.perf_counter()
+        # Supervision telemetry of the latest run (observable by tests
+        # and reporting: how often did the run actually self-heal?).
+        self.recoveries = 0
+        self.serial_degraded_chunks = 0
         batched = (self.machine.core == "batched"
                    and batch.numpy_available())
         if batched and not checkpoint_interval:
@@ -267,24 +501,39 @@ class CampaignEngine:
             sinks.append(ProgressSink(progress))
         if sink is not None:
             sinks.append(sink)
+        if chaos is not None:
+            from repro.fi.chaos import ChaosSink
+
+            sinks.append(ChaosSink(chaos))
         tee = TeeSink(sinks)
-        tee.begin({"total_runs": total, "pruned_runs": pruned,
-                   "vectorized": vectorized, "chunk_size": chunk_size,
-                   "plan": self.plan, "golden": self.golden})
-        assembler = ChunkAssembler(self.plan, todo, masked, tee,
-                                   chunk_size)
-        if workers and workers > 1 and len(todo) > 1 \
-                and "fork" in multiprocessing.get_all_start_methods():
-            self._run_parallel(context, workers, chunk_size, assembler)
-        else:
-            self._run_serial(context, chunk_size, assembler)
-        assembler.close()
-        result = CampaignResult(self.golden,
-                                aggregates=aggregate.aggregates)
-        result.pruned_runs = pruned
-        result.vectorized = vectorized
-        result.wall_time = time.perf_counter() - start
-        tee.finish({"wall_time": result.wall_time})
+        try:
+            tee.begin({"total_runs": total, "pruned_runs": pruned,
+                       "vectorized": vectorized, "chunk_size": chunk_size,
+                       "plan": self.plan, "golden": self.golden})
+            assembler = ChunkAssembler(self.plan, todo, masked, tee,
+                                       chunk_size)
+            if workers and workers > 1 and len(todo) > 1 \
+                    and "fork" in multiprocessing.get_all_start_methods():
+                self._run_parallel(context, workers, chunk_size,
+                                   assembler, chaos, worker_retries,
+                                   retry_backoff)
+            else:
+                self._run_serial(context, chunk_size, assembler)
+            assembler.close()
+            result = CampaignResult(self.golden,
+                                    aggregates=aggregate.aggregates)
+            result.pruned_runs = pruned
+            result.vectorized = vectorized
+            result.wall_time = time.perf_counter() - start
+            tee.finish({"wall_time": result.wall_time})
+        except BaseException:
+            # A failed campaign must not leak sink state: close spool
+            # temp files, roll partial store archives back.
+            for failed_sink in sinks:
+                abort = getattr(failed_sink, "abort", None)
+                if abort is not None:
+                    abort()
+            raise
         result.runs = spool.view()
         return result
 
@@ -294,35 +543,18 @@ class CampaignEngine:
             assembler.push(context.classify_indices(
                 todo[low:low + chunk_size]))
 
-    def _run_parallel(self, context, workers, chunk_size, assembler):
+    def _run_parallel(self, context, workers, chunk_size, assembler,
+                      chaos, worker_retries, retry_backoff):
         pending = len(context.todo)
         n_chunks = max(1, min(workers, pending))
-        mp = multiprocessing.get_context("fork")
-        queue = mp.SimpleQueue()
-        try:
-            pool = mp.Pool(processes=n_chunks, initializer=_init_worker,
-                           initargs=(context, queue, chunk_size))
-        except OSError:
-            # Process creation refused (sandbox, rlimits): same
-            # results, just without the speedup.
-            return self._run_serial(context, chunk_size, assembler)
         # Segments arrive out of order across workers; the un-dealer
         # buffers them and releases maximal plan-order runs, keeping
         # the parent's residency at O(chunk_size × workers).
         undealer = StridedUndealer(pending, n_chunks, chunk_size)
-        expected = sum(
-            -(-len(context.todo[index::n_chunks]) // chunk_size)
-            for index in range(n_chunks))
-        with pool:
-            outcome = pool.map_async(
-                _run_chunk, [(index, n_chunks) for index in range(n_chunks)])
-            received = 0
-            while received < expected:
-                chunk_index, segment_index, payload = queue.get()
-                if chunk_index < 0:
-                    raise SimulationError(
-                        f"campaign worker failed: {payload}")
-                received += 1
-                assembler.push(undealer.add(chunk_index, segment_index,
-                                            payload))
-            outcome.get()               # surface straggler failures
+        supervisor = _Supervisor(context, n_chunks, chunk_size,
+                                 assembler, undealer, chaos=chaos,
+                                 worker_retries=worker_retries,
+                                 retry_backoff=retry_backoff)
+        supervisor.run()
+        self.recoveries = supervisor.recoveries
+        self.serial_degraded_chunks = supervisor.serial_chunks

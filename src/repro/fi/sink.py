@@ -39,9 +39,18 @@ fan-out — :class:`repro.store.db.ResultStore` plugs in through
 """
 
 import pickle
+import sqlite3
 import tempfile
+import warnings
 
 from repro.fi.campaign import Aggregates
+
+
+def _is_lock_error(exc):
+    """True for SQLite's transient contention errors (the retryable
+    family: another writer holds the lock right now)."""
+    message = str(exc)
+    return "database is locked" in message or "database is busy" in message
 
 
 class RunSink:
@@ -234,6 +243,17 @@ class SpoolSink(RunSink):
                                  memory_records=self._memory,
                                  spool=self._spool, frames=self._frames)
 
+    def abort(self):
+        """Tear the spool down after a failed campaign: close (and
+        thereby delete) the temp file and drop the buffered records, so
+        an aborted run leaks neither descriptors nor disk."""
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+        self._memory = None
+        self._frames = []
+        self._view = None
+
     def view(self):
         """The finished :class:`SpooledRuns`; valid after ``finish``."""
         if self._view is None:
@@ -271,10 +291,23 @@ class StoreWriterSink(RunSink):
         self._writer.write_chunk(chunk)
 
     def finish(self, summary):
-        self._writer.commit(self._aggregates,
-                            pruned_runs=self._meta["pruned_runs"],
-                            vectorized=self._meta["vectorized"],
-                            wall_time=summary["wall_time"])
+        try:
+            self._writer.commit(self._aggregates,
+                                pruned_runs=self._meta["pruned_runs"],
+                                vectorized=self._meta["vectorized"],
+                                wall_time=summary["wall_time"])
+        except sqlite3.OperationalError as exc:
+            # Archiving is an optimization, not the campaign: if the
+            # store stayed locked past the writer's own retries, drop
+            # the archive and let the computed result stand — the cell
+            # simply misses next time instead of failing the run.
+            if not _is_lock_error(exc):
+                raise
+            self._writer.abort()
+            warnings.warn(
+                f"result store stayed locked; campaign not archived "
+                f"under {self.key} ({exc})", RuntimeWarning,
+                stacklevel=2)
         self._writer = None
 
     def abort(self):

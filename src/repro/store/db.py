@@ -24,13 +24,28 @@ The store is a plain file; concurrent sweeps on one host are safe
 because a result's meta row is committed only after all of its chunks,
 in one transaction — readers never observe a partially archived
 campaign, and two writers racing on one key write the same aggregates
-by the engine's parity invariants.
+by the engine's parity invariants.  Contention is absorbed rather than
+surfaced: connections open in WAL mode with a busy timeout, and commit
+paths retry ``database is locked`` with exponential backoff
+(:data:`COMMIT_RETRIES` attempts) before giving up.
+
+Integrity is checked, not assumed.  Every archived chunk carries a
+blake2b digest of its compressed payload, verified on replay; a chunk
+that fails the digest (or fails to decode — bad disk, torn write) is
+**quarantined**: recorded in ``campaign_quarantine``, warned about,
+and the result misses cleanly so the caller re-executes.  Rewriting a
+key clears its quarantine rows.  :meth:`ResultStore.verify` audits an
+entire store (the ``repro store verify`` CLI) and reports exactly
+which rows are damaged.
 """
 
+import hashlib
 import json
 import os
 import platform
 import sqlite3
+import time
+import warnings
 import zlib
 from datetime import datetime, timezone
 
@@ -48,6 +63,17 @@ READABLE_VERSIONS = (1, SCHEMA_VERSION)
 #: (matches the engine's default streaming granularity).
 DEFAULT_CHUNK_SIZE = 2048
 
+#: Lock-contention absorption: seconds SQLite itself blocks on a busy
+#: database before raising, and how often the store then retries a
+#: failed commit (exponential backoff doubling from
+#: :data:`COMMIT_BACKOFF` seconds).
+BUSY_TIMEOUT = 5.0
+COMMIT_RETRIES = 5
+COMMIT_BACKOFF = 0.05
+
+#: blake2b digest width for per-chunk payload digests (hex doubles it).
+_DIGEST_SIZE = 16
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaign_results (
     key                TEXT PRIMARY KEY,
@@ -64,16 +90,55 @@ CREATE TABLE IF NOT EXISTS campaign_chunks (
     chunk_index INTEGER NOT NULL,
     payload     BLOB NOT NULL,
     PRIMARY KEY (key, chunk_index)
+);
+CREATE TABLE IF NOT EXISTS campaign_quarantine (
+    key         TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    reason      TEXT NOT NULL,
+    detected_at TEXT NOT NULL,
+    PRIMARY KEY (key, chunk_index)
 )
 """
 
 #: Columns added after the v1 schema shipped; ``ALTER TABLE`` is
 #: applied opportunistically so a store file created by an older
-#: version keeps working in place.
+#: version keeps working in place.  ``digest`` rows written before the
+#: column existed stay NULL — replay falls back to decode-validation
+#: for them instead of digest comparison.
 _MIGRATIONS = (
     "ALTER TABLE campaign_results ADD COLUMN uncompressed_bytes INTEGER",
     "ALTER TABLE campaign_results ADD COLUMN compressed_bytes INTEGER",
+    "ALTER TABLE campaign_chunks ADD COLUMN digest TEXT",
 )
+
+#: Exceptions a damaged payload can raise while decoding — every read
+#: path converts these to a quarantine + clean miss, never a crash.
+_DECODE_ERRORS = (ValueError, KeyError, TypeError, zlib.error,
+                  sqlite3.DatabaseError)
+
+
+def chunk_digest(blob):
+    """Hex blake2b digest archived (and verified) per chunk payload."""
+    return hashlib.blake2b(blob, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def _is_lock_error(exc):
+    message = str(exc)
+    return "database is locked" in message or "database is busy" in message
+
+
+def _quarantine(connection, key, chunk_index, reason):
+    """Record one damaged row (idempotent) and warn; ``chunk_index``
+    -1 marks damage in the meta row itself."""
+    connection.execute(
+        "INSERT OR REPLACE INTO campaign_quarantine "
+        "(key, chunk_index, reason, detected_at) VALUES (?, ?, ?, ?)",
+        (key, chunk_index, reason,
+         datetime.now(timezone.utc).isoformat()))
+    connection.commit()
+    warnings.warn(
+        f"quarantined corrupt archive row (key={key}, "
+        f"chunk={chunk_index}): {reason}", RuntimeWarning, stacklevel=3)
 
 
 class CachedCampaignResult(CampaignResult):
@@ -192,13 +257,27 @@ class StoredRuns:
         if chunk_index == self._cache_index:
             return self._cache
         row = self._connection.execute(
-            "SELECT payload FROM campaign_chunks "
+            "SELECT payload, digest FROM campaign_chunks "
             "WHERE key = ? AND chunk_index = ?",
             (self._key, chunk_index)).fetchone()
         if row is None:
             raise KeyError(
                 f"missing chunk {chunk_index} of {self._key}")
-        records = decode_chunk(row[0])
+        blob, digest = row
+        if digest is not None and chunk_digest(blob) != digest:
+            _quarantine(self._connection, self._key, chunk_index,
+                        "digest mismatch")
+            raise KeyError(
+                f"corrupt chunk {chunk_index} of {self._key} "
+                "(digest mismatch; quarantined)")
+        try:
+            records = decode_chunk(blob)
+        except _DECODE_ERRORS as exc:
+            _quarantine(self._connection, self._key, chunk_index,
+                        f"undecodable payload: {exc}")
+            raise KeyError(
+                f"corrupt chunk {chunk_index} of {self._key} "
+                "(quarantined)") from exc
         self._cache_index = chunk_index
         self._cache = records
         return records
@@ -243,14 +322,17 @@ class ChunkWriter:
             "DELETE FROM campaign_results WHERE key = ?", (key,))
         connection.execute(
             "DELETE FROM campaign_chunks WHERE key = ?", (key,))
+        connection.execute(
+            "DELETE FROM campaign_quarantine WHERE key = ?", (key,))
 
     def write_chunk(self, records):
         """Archive the next plan-ordered chunk of
         ``(planned, effect, signature[, byte_size])`` records."""
         blob, raw_size = encode_chunk(records)
         self._store._connection.execute(
-            "INSERT INTO campaign_chunks (key, chunk_index, payload) "
-            "VALUES (?, ?, ?)", (self._key, self._n_chunks, blob))
+            "INSERT INTO campaign_chunks "
+            "(key, chunk_index, payload, digest) VALUES (?, ?, ?, ?)",
+            (self._key, self._n_chunks, blob, chunk_digest(blob)))
         self._n_chunks += 1
         self._n_runs += len(records)
         self._uncompressed += raw_size
@@ -284,7 +366,7 @@ class ChunkWriter:
              platform.node(), repro.__version__,
              datetime.now(timezone.utc).isoformat(),
              self._uncompressed, self._compressed))
-        self._store._connection.commit()
+        self._store._commit()
 
     def abort(self):
         """Discard everything written since the writer opened."""
@@ -292,13 +374,28 @@ class ChunkWriter:
 
 
 class ResultStore:
-    """Content-addressed campaign-result store backed by SQLite."""
+    """Content-addressed campaign-result store backed by SQLite.
 
-    def __init__(self, path):
+    Opens in WAL mode with a *busy_timeout* so concurrent sweeps
+    contend at the SQLite level instead of surfacing ``database is
+    locked``; commits that still fail retry with exponential backoff.
+    *chaos* threads a :class:`repro.fi.chaos.ChaosPolicy` whose
+    ``store.commit`` rules fire once per commit attempt, so the retry
+    path is testable without a second real writer.
+    """
+
+    def __init__(self, path, busy_timeout=BUSY_TIMEOUT, chaos=None):
         self.path = path
+        self.chaos = chaos
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        self._connection = sqlite3.connect(path)
+        self._connection = sqlite3.connect(path, timeout=busy_timeout)
+        self._connection.execute(
+            "PRAGMA busy_timeout = %d" % int(busy_timeout * 1000))
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:
+            pass          # e.g. filesystem without WAL support
         self._connection.executescript(_SCHEMA)
         for statement in _MIGRATIONS:
             try:
@@ -306,6 +403,24 @@ class ResultStore:
             except sqlite3.OperationalError:
                 pass                     # column already present
         self._connection.commit()
+
+    def _commit(self, retries=COMMIT_RETRIES, backoff=COMMIT_BACKOFF):
+        """Commit, absorbing transient lock contention.
+
+        Fires the ``store.commit`` chaos point once per attempt, then
+        retries ``database is locked`` with exponential backoff; the
+        exception propagates only once *retries* extra attempts are
+        exhausted.  Returns the number of attempts that failed."""
+        for attempt in range(retries + 1):
+            try:
+                if self.chaos is not None:
+                    self.chaos.fire("store.commit", attempt=attempt)
+                self._connection.commit()
+                return attempt
+            except sqlite3.OperationalError as exc:
+                if not _is_lock_error(exc) or attempt >= retries:
+                    raise
+                time.sleep(backoff * (1 << attempt))
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -333,7 +448,7 @@ class ResultStore:
         if version == 1:
             try:
                 return decode_result(payload)
-            except (ValueError, KeyError, TypeError):
+            except _DECODE_ERRORS:
                 return None              # corrupt legacy payload: miss
         if version != SCHEMA_VERSION:
             return None
@@ -344,6 +459,8 @@ class ResultStore:
             aggregates = Aggregates.restore(meta["effects"],
                                             meta["vulnerable"], sizes,
                                             n_runs)
+            if not self._chunks_intact(key, meta["n_chunks"]):
+                return None              # damaged archive: clean miss
             runs = StoredRuns(self._connection, key, n_runs,
                               meta["n_chunks"], meta["chunk_size"])
             result = CachedCampaignResult(golden=None, runs=runs,
@@ -352,8 +469,119 @@ class ResultStore:
             result.vectorized = meta["vectorized"]
             result.wall_time = wall_time
             return result
-        except (ValueError, KeyError, TypeError):
+        except _DECODE_ERRORS:
             return None                  # corrupt meta row: miss
+
+    def _chunks_intact(self, key, n_chunks):
+        """Up-front integrity check of a v2 archive before handing out
+        a hit: every promised chunk present, every digest matching
+        (payloads hashed one row at a time — O(1) resident chunks).
+        Damage is quarantined and the key misses; rows already in
+        quarantine keep missing until a rewrite clears them."""
+        (already,) = self._connection.execute(
+            "SELECT COUNT(*) FROM campaign_quarantine WHERE key = ?",
+            (key,)).fetchone()
+        if already:
+            return False
+        present = {}
+        for chunk_index, digest in self._connection.execute(
+                "SELECT chunk_index, digest FROM campaign_chunks "
+                "WHERE key = ?", (key,)):
+            present[chunk_index] = digest
+        for chunk_index in range(n_chunks):
+            if chunk_index not in present:
+                _quarantine(self._connection, key, chunk_index,
+                            "missing chunk")
+                return False
+        for chunk_index in range(n_chunks):
+            digest = present[chunk_index]
+            if digest is None:
+                continue                 # pre-digest row: checked on load
+            (blob,) = self._connection.execute(
+                "SELECT payload FROM campaign_chunks "
+                "WHERE key = ? AND chunk_index = ?",
+                (key, chunk_index)).fetchone()
+            if chunk_digest(blob) != digest:
+                _quarantine(self._connection, key, chunk_index,
+                            "digest mismatch")
+                return False
+        return True
+
+    def verify(self):
+        """Audit the entire store, row by row.
+
+        Deep-checks every readable archive — meta payload decodes,
+        every chunk present, digests match, payloads decompress and
+        parse, decoded run counts agree with the meta row — and
+        quarantines whatever fails.  Returns a report dict::
+
+            {"results": .., "chunks": .., "ok": bool,
+             "corrupt": [{"key", "chunk_index", "reason"}, ...],
+             "quarantined": ..}
+
+        Only one chunk is resident at a time, so auditing a large
+        store stays O(chunk_size) in memory.
+        """
+        corrupt = []
+
+        def flag(key, chunk_index, reason):
+            corrupt.append({"key": key, "chunk_index": chunk_index,
+                            "reason": reason})
+            _quarantine(self._connection, key, chunk_index, reason)
+
+        n_results = 0
+        n_chunks = 0
+        for key, version, payload, n_runs in self._connection.execute(
+                "SELECT key, schema_version, payload, n_runs "
+                "FROM campaign_results WHERE schema_version IN (?, ?) "
+                "ORDER BY key", READABLE_VERSIONS).fetchall():
+            n_results += 1
+            if version == 1:
+                try:
+                    decode_result(payload)
+                except _DECODE_ERRORS as exc:
+                    flag(key, -1, f"corrupt v1 payload: {exc}")
+                continue
+            try:
+                meta = json.loads(payload)
+                expected_chunks = meta["n_chunks"]
+            except _DECODE_ERRORS as exc:
+                flag(key, -1, f"corrupt meta payload: {exc}")
+                continue
+            decoded_runs = 0
+            for chunk_index in range(expected_chunks):
+                row = self._connection.execute(
+                    "SELECT payload, digest FROM campaign_chunks "
+                    "WHERE key = ? AND chunk_index = ?",
+                    (key, chunk_index)).fetchone()
+                if row is None:
+                    flag(key, chunk_index, "missing chunk")
+                    continue
+                n_chunks += 1
+                blob, digest = row
+                if digest is not None and chunk_digest(blob) != digest:
+                    flag(key, chunk_index, "digest mismatch")
+                    continue
+                try:
+                    decoded_runs += len(decode_chunk(blob))
+                except _DECODE_ERRORS as exc:
+                    flag(key, chunk_index, f"undecodable payload: {exc}")
+            if decoded_runs != n_runs and not any(
+                    entry["key"] == key for entry in corrupt):
+                flag(key, -1,
+                     f"run count mismatch: meta says {n_runs}, "
+                     f"chunks hold {decoded_runs}")
+        (quarantined,) = self._connection.execute(
+            "SELECT COUNT(*) FROM campaign_quarantine").fetchone()
+        return {"results": n_results, "chunks": n_chunks,
+                "ok": not corrupt, "corrupt": corrupt,
+                "quarantined": quarantined}
+
+    def quarantined(self):
+        """Every quarantined row as ``(key, chunk_index, reason)``."""
+        return [tuple(row) for row in self._connection.execute(
+            "SELECT key, chunk_index, reason FROM campaign_quarantine "
+            "ORDER BY key, chunk_index")]
 
     def open_writer(self, key, chunk_size=DEFAULT_CHUNK_SIZE):
         """A :class:`ChunkWriter` streaming a new archive under *key*

@@ -20,6 +20,7 @@ canonical shape::
     max_runs = 200                         # cap each cell's plan
     batch_lanes = 256                      # lockstep lanes (batched core)
     chunk_size = 2048                      # streamed records per chunk
+    max_retries = 1                        # re-attempts per failing cell
 
 The same structure as JSON (``{"grid": {...}, "engine": {...}}``) is
 accepted everywhere TOML is, and is the only format on Python < 3.11
@@ -132,7 +133,7 @@ class SweepSpec:
         engine = data.get("engine", {})
         unknown = set(engine) - {"workers", "checkpoint_interval",
                                  "prune", "max_runs", "batch_lanes",
-                                 "chunk_size"}
+                                 "chunk_size", "max_retries"}
         if unknown:
             raise SweepSpecError(
                 f"unknown engine keys: {sorted(unknown)}")
@@ -156,6 +157,9 @@ class SweepSpec:
             self.chunk_size = int(self.chunk_size)
             if self.chunk_size < 1:
                 raise SweepSpecError("engine.chunk_size must be >= 1")
+        self.max_retries = int(engine.get("max_retries", 0))
+        if self.max_retries < 0:
+            raise SweepSpecError("engine.max_retries must be >= 0")
 
     def cells(self):
         """The expanded grid, in deterministic spec order.

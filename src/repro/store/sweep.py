@@ -24,12 +24,17 @@ from repro.fi.campaign import (plan_bec, plan_exhaustive,
 from repro.fi.machine import Machine
 from repro.store.runner import CachingRunner
 
-#: One finished (or cache-hit) grid cell.
+#: One finished (or cache-hit, or — with ``continue_on_error`` —
+#: permanently failed) grid cell.  ``error`` is ``None`` on success
+#: and a ``"ExcType: message"`` string when every attempt failed.
 CellOutcome = namedtuple(
     "CellOutcome",
     ["cell", "key", "cached", "plan_runs", "pruned_runs", "effects",
      "distinct_traces", "archived_bytes", "wall_time", "golden_cycles",
-     "overhead"])
+     "overhead", "error"], defaults=(None,))
+
+#: Base seconds between cell re-attempts (doubles per retry).
+CELL_RETRY_BACKOFF = 0.05
 
 _PLANNERS = {
     "bec": lambda function, golden, bec: plan_bec(function, golden, bec),
@@ -68,12 +73,28 @@ def _load_kernel(ref):
 
 
 class SweepRunner:
-    """Executes one spec against one store."""
+    """Executes one spec against one store.
 
-    def __init__(self, spec, store, workers=None, force=False):
+    Cell failures are governed by a retry policy: each failing cell is
+    re-attempted up to *max_retries* times (default: the spec's
+    ``engine.max_retries``, itself defaulting to 0) with exponential
+    backoff.  When a cell exhausts its attempts, the default is to
+    re-raise (one bad cell aborts the sweep, preserving historical
+    behavior); with ``continue_on_error=True`` the sweep records the
+    failure as a :class:`CellOutcome` carrying ``error`` and keeps
+    going, so one poisoned cell cannot sink a nightly grid.
+    """
+
+    def __init__(self, spec, store, workers=None, force=False,
+                 max_retries=None, retry_backoff=CELL_RETRY_BACKOFF,
+                 continue_on_error=False):
         self.spec = spec
         self.store = store
         self.workers = spec.workers if workers is None else workers
+        self.max_retries = spec.max_retries if max_retries is None \
+            else max_retries
+        self.retry_backoff = retry_backoff
+        self.continue_on_error = continue_on_error
         self.runner = CachingRunner(store, force=force)
         self._kernels = {}    # name -> (function, memory_image, regs)
         self._variants = {}   # (name, harden, budget) -> variant dict
@@ -155,6 +176,30 @@ class SweepRunner:
             wall_time=result.wall_time,
             golden_cycles=variant["golden"].cycles, overhead=overhead)
 
+    def _execute_cell(self, cell, progress=None):
+        """:meth:`run_cell` under the retry policy.
+
+        Exhausted attempts re-raise, or — under ``continue_on_error``
+        — yield a failed :class:`CellOutcome` (``error`` set, zeroed
+        counters) so the sweep records exactly which cell died and
+        why."""
+        attempt = 0
+        while True:
+            try:
+                return self.run_cell(cell, progress=progress)
+            except Exception as exc:
+                if attempt >= self.max_retries:
+                    if not self.continue_on_error:
+                        raise
+                    return CellOutcome(
+                        cell=cell, key=None, cached=False, plan_runs=0,
+                        pruned_runs=0, effects={}, distinct_traces=0,
+                        archived_bytes=0, wall_time=0.0,
+                        golden_cycles=None, overhead=None,
+                        error=f"{type(exc).__name__}: {exc}")
+                attempt += 1
+                time.sleep(self.retry_backoff * (1 << (attempt - 1)))
+
     def run(self, progress=None, run_progress=None):
         """Execute every cell.  ``progress(done, total, outcome)`` fires
         per finished cell; ``run_progress(cell, done, total)`` streams
@@ -169,7 +214,7 @@ class SweepRunner:
             if run_progress is not None:
                 def cell_progress(done, total, _cell=cell):
                     run_progress(_cell, done, total)
-            outcome = self.run_cell(cell, progress=cell_progress)
+            outcome = self._execute_cell(cell, progress=cell_progress)
             outcomes.append(outcome)
             if progress is not None:
                 progress(index + 1, len(cells), outcome)
@@ -183,11 +228,13 @@ class SweepRunner:
 
 
 def run_sweep(spec, store, workers=None, force=False, progress=None,
-              run_progress=None):
+              run_progress=None, max_retries=None,
+              continue_on_error=False):
     """Expand *spec*, execute/skip every cell, return the report."""
-    return SweepRunner(spec, store, workers=workers,
-                       force=force).run(progress=progress,
-                                        run_progress=run_progress)
+    return SweepRunner(spec, store, workers=workers, force=force,
+                       max_retries=max_retries,
+                       continue_on_error=continue_on_error).run(
+                           progress=progress, run_progress=run_progress)
 
 
 class SweepReport:
@@ -210,17 +257,31 @@ class SweepReport:
 
     @property
     def cells_run(self):
-        return sum(1 for outcome in self.outcomes if not outcome.cached)
+        return sum(1 for outcome in self.outcomes
+                   if not outcome.cached and outcome.error is None)
 
     @property
     def cells_cached(self):
         return sum(1 for outcome in self.outcomes if outcome.cached)
 
+    @property
+    def failed(self):
+        """Outcomes whose every attempt failed (``error`` set)."""
+        return [outcome for outcome in self.outcomes
+                if outcome.error is not None]
+
+    @property
+    def cells_failed(self):
+        return len(self.failed)
+
     def summary(self):
-        return (f"sweep {self.spec_name}: {self.cells_total} cells "
+        text = (f"sweep {self.spec_name}: {self.cells_total} cells "
                 f"({self.cells_run} executed, {self.cells_cached} from "
                 f"cache), {self.simulator_runs} simulator runs in "
                 f"{self.wall_time:.2f}s")
+        if self.cells_failed:
+            text += f"; {self.cells_failed} cells FAILED"
+        return text
 
     def to_json(self):
         """JSON-safe dict (the ``SWEEP_*.json`` schema read by
@@ -233,6 +294,7 @@ class SweepReport:
                 "cells": self.cells_total,
                 "cells_run": self.cells_run,
                 "cells_cached": self.cells_cached,
+                "cells_failed": self.cells_failed,
                 "simulator_runs": self.simulator_runs,
                 "wall_time": self.wall_time,
             },
@@ -254,6 +316,7 @@ class SweepReport:
                     "wall_time": outcome.wall_time,
                     "golden_cycles": outcome.golden_cycles,
                     "overhead": outcome.overhead,
+                    "error": outcome.error,
                 }
                 for outcome in self.outcomes
             ],
@@ -266,7 +329,9 @@ class SweepReport:
             f"- store: `{self.store_path}` "
             f"({self.store_stats.get('results', '?')} archived results)",
             f"- cells: {self.cells_total} "
-            f"({self.cells_run} executed, {self.cells_cached} cached)",
+            f"({self.cells_run} executed, {self.cells_cached} cached"
+            + (f", **{self.cells_failed} failed**"
+               if self.cells_failed else "") + ")",
             f"- simulator runs this invocation: {self.simulator_runs}",
             f"- wall time: {self.wall_time:.2f} s",
         ]
@@ -286,6 +351,12 @@ class SweepReport:
         for outcome in self.outcomes:
             cell = outcome.cell
             budget = "" if cell.budget is None else f"{cell.budget:.2f}"
+            if outcome.error is not None:
+                status = "FAILED"
+            elif outcome.cached:
+                status = "hit"
+            else:
+                status = "run"
             lines.append(
                 f"| {cell.kernel} | {cell.mode} | {cell.harden} "
                 f"| {budget} | {cell.core} | {outcome.plan_runs} "
@@ -293,7 +364,14 @@ class SweepReport:
                 f"| {outcome.effects.get('detected', 0)} "
                 f"| {outcome.effects.get('masked', 0)} "
                 f"| {outcome.distinct_traces} "
-                f"| {'hit' if outcome.cached else 'run'} "
+                f"| {status} "
                 f"| {outcome.wall_time:.2f} |")
+        if self.failed:
+            lines += ["", "## Failed cells", ""]
+            for outcome in self.failed:
+                cell = outcome.cell
+                lines.append(
+                    f"- `{cell.kernel} / {cell.mode} / {cell.harden} / "
+                    f"{cell.core}` — {outcome.error}")
         lines.append("")
         return "\n".join(lines)

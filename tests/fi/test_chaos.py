@@ -1,0 +1,197 @@
+"""Tests for the pipeline chaos harness (repro.fi.chaos).
+
+The repo measures how programs survive injected faults; these tests
+inject faults into the measuring pipeline itself — SIGKILLed workers,
+failing sinks, locked stores, corrupted archives — and assert the
+self-healing paths hold the same contract as every other engine knob:
+bit-identical aggregates, no hangs, no crashes.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.fi.campaign import plan_exhaustive
+from repro.fi.chaos import (ChaosError, ChaosPolicy, ChaosSink,
+                            corrupt_chunk, drop_chunk, truncate_chunk)
+from repro.fi.engine import CampaignEngine
+
+
+def assert_identical(base, other):
+    assert [(effect, signature) for _, effect, signature in base.runs] \
+        == [(effect, signature) for _, effect, signature in other.runs]
+    assert base.effect_counts() == other.effect_counts()
+    assert base.vulnerable_runs() == other.vulnerable_runs()
+    assert base.distinct_traces == other.distinct_traces
+    assert base.archived_bytes == other.archived_bytes
+
+
+class TestChaosPolicy:
+    def test_rules_match_exactly_and_are_bounded(self):
+        policy = ChaosPolicy().on("point", match={"a": 1}, times=2)
+        assert not policy.fire("point", a=2)
+        assert not policy.fire("other", a=1)
+        assert policy.fire("point", a=1)
+        assert policy.fire("point", a=1, extra="ignored")
+        assert not policy.fire("point", a=1)      # times exhausted
+        assert policy.fired == 2
+
+    def test_rule_exception_is_raised(self):
+        policy = ChaosPolicy().on("p", exc=ChaosError("boom"))
+        with pytest.raises(ChaosError):
+            policy.fire("p")
+        assert policy.fired == 1
+
+    def test_fail_sink_defaults_to_disk_full(self):
+        policy = ChaosPolicy().fail_sink()
+        with pytest.raises(OSError) as excinfo:
+            policy.fire("sink.consume", index=0)
+        assert excinfo.value.errno == 28
+
+    def test_lock_store_raises_locked(self):
+        policy = ChaosPolicy().lock_store(times=1)
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            policy.fire("store.commit", attempt=0)
+
+    def test_chaos_sink_fires_per_chunk_ordinal(self):
+        policy = ChaosPolicy().fail_sink(index=1)
+        sink = ChaosSink(policy)
+        sink.begin({})
+        sink.consume([None])                      # ordinal 0: no rule
+        with pytest.raises(OSError):
+            sink.consume([None])                  # ordinal 1 fires
+        sink.finish({})
+        assert policy.fired == 1
+
+
+@pytest.fixture(scope="module")
+def baseline(motivating_function, motivating_machine, motivating_golden):
+    plan = plan_exhaustive(motivating_function, motivating_golden)
+    engine = CampaignEngine(motivating_machine, plan,
+                            golden=motivating_golden)
+    return engine, engine.run()
+
+
+class TestWorkerKill:
+    def test_killed_worker_recovers_bit_identical(self, baseline):
+        engine, base = baseline
+        policy = ChaosPolicy().kill_worker(chunk=0, segment=1)
+        healed = engine.run(workers=4, chunk_size=16, chaos=policy,
+                            retry_backoff=0.01)
+        assert engine.recoveries >= 1
+        assert engine.serial_degraded_chunks == 0
+        assert_identical(base, healed)
+
+    def test_multiple_killed_workers_recover(self, baseline):
+        engine, base = baseline
+        policy = (ChaosPolicy()
+                  .kill_worker(chunk=0, segment=0)
+                  .kill_worker(chunk=2, segment=3))
+        healed = engine.run(workers=4, chunk_size=16, chaos=policy,
+                            retry_backoff=0.01)
+        assert engine.recoveries >= 2
+        assert_identical(base, healed)
+
+    def test_unrecoverable_worker_degrades_to_serial(self, baseline):
+        """A chunk whose worker dies on every respawn must exhaust the
+        retry budget and finish in-parent — slower, never wrong."""
+        engine, base = baseline
+        policy = ChaosPolicy().kill_worker(chunk=0, segment=0,
+                                           attempt=None)
+        healed = engine.run(workers=2, chunk_size=16, chaos=policy,
+                            worker_retries=1, retry_backoff=0.01)
+        assert engine.serial_degraded_chunks >= 1
+        assert_identical(base, healed)
+
+    def test_kill_mid_stream_preserves_earlier_segments(self, baseline):
+        """Dying after streaming some segments must not double-count
+        them when the respawned worker re-runs the remainder."""
+        engine, base = baseline
+        policy = ChaosPolicy().kill_worker(chunk=1, segment=4)
+        healed = engine.run(workers=2, chunk_size=16, chaos=policy,
+                            retry_backoff=0.01)
+        assert engine.recoveries >= 1
+        assert_identical(base, healed)
+
+
+class TestSinkChaos:
+    def test_failing_sink_aborts_cleanly_and_engine_recovers(
+            self, baseline):
+        engine, base = baseline
+        policy = ChaosPolicy().fail_sink(index=0)
+        with pytest.raises(OSError):
+            engine.run(chunk_size=16, chaos=policy)
+        assert policy.fired == 1
+        # The teardown left no poisoned state behind: the same engine
+        # immediately runs a clean campaign with identical aggregates.
+        assert_identical(base, engine.run(chunk_size=16))
+
+    def test_failing_sink_with_workers_terminates(self, baseline):
+        engine, base = baseline
+        policy = ChaosPolicy().fail_sink(index=2)
+        with pytest.raises(OSError):
+            engine.run(workers=4, chunk_size=16, chaos=policy)
+        assert_identical(base, engine.run(workers=4, chunk_size=16))
+
+
+class TestStoreChaos:
+    def _result(self, baseline):
+        return baseline[1]
+
+    def test_locked_commits_are_absorbed(self, tmp_path, baseline):
+        from repro.store import ResultStore
+
+        policy = ChaosPolicy().lock_store(times=2)
+        with ResultStore(str(tmp_path / "s.sqlite"),
+                         chaos=policy) as store:
+            store.put("key", self._result(baseline), chunk_size=64)
+            assert policy.fired == 2          # two attempts retried
+            cached = store.get("key")
+            assert cached is not None
+            assert cached.effect_counts() \
+                == self._result(baseline).effect_counts()
+
+    def test_lock_exhaustion_propagates_and_rolls_back(self, tmp_path,
+                                                       baseline):
+        from repro.store import ResultStore
+        from repro.store.db import COMMIT_RETRIES
+
+        policy = ChaosPolicy().lock_store(times=COMMIT_RETRIES + 10)
+        with ResultStore(str(tmp_path / "s.sqlite"),
+                         chaos=policy) as store:
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.put("key", self._result(baseline), chunk_size=64)
+            assert policy.fired == COMMIT_RETRIES + 1
+            assert store.get("key") is None   # rolled back, not partial
+
+
+class TestAtRestCorruption:
+    @pytest.fixture
+    def archived(self, tmp_path, baseline):
+        from repro.store import ResultStore
+
+        store = ResultStore(str(tmp_path / "s.sqlite"))
+        store.put("key", baseline[1], chunk_size=64)
+        yield store
+        store.close()
+
+    def test_corrupt_chunk_is_a_clean_miss(self, archived):
+        corrupt_chunk(archived, "key", chunk_index=0)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert archived.get("key") is None
+
+    def test_truncated_chunk_is_a_clean_miss(self, archived):
+        truncate_chunk(archived, "key", chunk_index=1)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert archived.get("key") is None
+
+    def test_dropped_chunk_is_a_clean_miss(self, archived):
+        drop_chunk(archived, "key", chunk_index=0)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert archived.get("key") is None
+
+    def test_helpers_validate_the_target(self, archived):
+        with pytest.raises(KeyError):
+            corrupt_chunk(archived, "absent")
+        with pytest.raises(KeyError):
+            truncate_chunk(archived, "key", chunk_index=999)

@@ -244,6 +244,47 @@ class TestHardenedEngineParity:
             golden=reference_golden).run())
 
 
+class TestKillRecoveryParity:
+    """The parity contract extends to worker death: a campaign whose
+    worker is SIGKILLed mid-run (injected deterministically by
+    repro.fi.chaos) must complete without hanging, with final
+    aggregates, effect counts and trace signatures bit-identical to
+    the serial baseline."""
+
+    def test_motivating_killed_worker_parity(self, motivating_function,
+                                             motivating_machine,
+                                             motivating_golden):
+        from repro.fi.chaos import ChaosPolicy
+
+        plan = plan_exhaustive(motivating_function, motivating_golden)
+        engine = CampaignEngine(motivating_machine, plan,
+                                golden=motivating_golden)
+        base = engine.run()
+        policy = ChaosPolicy().kill_worker(chunk=1, segment=2)
+        healed = engine.run(workers=4, chunk_size=16, chaos=policy,
+                            retry_backoff=0.01)
+        assert engine.recoveries >= 1
+        assert_identical(base, healed)
+
+    def test_benchmark_killed_worker_parity_with_checkpoints(self):
+        from repro.fi.chaos import ChaosPolicy
+
+        run = benchmark_run("bitcount")
+        registers = run.function.registers()[::5]
+        plan = strided_exhaustive_plan(run.function, run.golden, 97,
+                                       registers, (0, 13))
+        engine = CampaignEngine(run.machine, plan, regs=run.regs,
+                                golden=run.golden)
+        base = engine.run()
+        interval = max(1, run.golden.cycles // 16)
+        policy = ChaosPolicy().kill_worker(chunk=0, segment=0)
+        healed = engine.run(workers=4, chunk_size=8,
+                            checkpoint_interval=interval, chaos=policy,
+                            retry_backoff=0.01)
+        assert engine.recoveries >= 1
+        assert_identical(base, healed)
+
+
 class TestSamplingCheckpointParity:
     def test_estimate_avf_checkpointed_is_identical(self,
                                                     motivating_function,

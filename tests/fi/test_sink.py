@@ -189,6 +189,58 @@ class TestSpoolSink:
         with pytest.raises(RuntimeError):
             sink.view()
 
+    def test_abort_closes_and_deletes_the_spool_file(self):
+        """An aborted campaign must leak neither the descriptor nor
+        the temp file (the OS unlinks a TemporaryFile on close)."""
+        plan, chunk_size = list(range(24)), 4
+        sink = SpoolSink()
+        sink.begin({"plan": plan, "chunk_size": chunk_size,
+                    "total_runs": len(plan)})
+        for low in range(0, len(plan), chunk_size):
+            sink.consume([(plan[index],) + fake_record(index)
+                          for index in range(low, low + chunk_size)])
+        spool = sink._spool
+        assert spool is not None and not spool.closed
+        sink.abort()
+        assert spool.closed
+        assert sink._spool is None and sink._frames == []
+        with pytest.raises(RuntimeError):
+            sink.view()
+
+    def test_abort_before_spilling_is_a_no_op(self):
+        sink = SpoolSink()
+        sink.begin({"plan": [0], "chunk_size": 4, "total_runs": 1})
+        sink.consume([(0,) + fake_record(0)])
+        sink.abort()                     # in-memory only: nothing leaks
+        assert sink._memory is None
+
+    def test_engine_aborts_sinks_when_one_raises(
+            self, motivating_function, motivating_machine,
+            motivating_golden):
+        """Satellite: a sink failing mid-stream must tear the whole
+        fan-out down through abort() — the spool temp file included —
+        and re-raise, leaving the engine reusable."""
+
+        class ExplodingSink(RunSink):
+            def __init__(self):
+                self.aborted = False
+
+            def consume(self, chunk):
+                raise OSError(28, "No space left on device")
+
+            def abort(self):
+                self.aborted = True
+
+        plan = plan_exhaustive(motivating_function, motivating_golden)
+        engine = CampaignEngine(motivating_machine, plan,
+                                golden=motivating_golden)
+        exploding = ExplodingSink()
+        with pytest.raises(OSError):
+            engine.run(chunk_size=16, sink=exploding)
+        assert exploding.aborted
+        result = engine.run(chunk_size=16)
+        assert len(result.runs) == len(plan)
+
 
 class TestAggregateSink:
     def test_counts_without_retaining_records(self):

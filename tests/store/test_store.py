@@ -238,3 +238,166 @@ class TestSchemaMigration:
             == provenance["compressed_bytes"]
         assert stats["uncompressed_bytes"] \
             == provenance["uncompressed_bytes"]
+
+
+class TestIntegrity:
+    """Digest-verified replay: a corrupted chunk row must degrade to a
+    quarantined clean miss (and a re-execution that heals the store),
+    never a crash — and ``verify()`` must report exactly the bad row."""
+
+    def _populate(self, store, machine, plan, golden, chunk_size=7):
+        runner = CachingRunner(store)
+        fresh = runner.run(machine, plan, golden=golden,
+                           chunk_size=chunk_size)
+        return fresh, runner.key_for(machine, plan)
+
+    def test_chunks_carry_digests(self, store, machine, plan, golden):
+        from repro.store.db import chunk_digest
+
+        _, key = self._populate(store, machine, plan, golden)
+        rows = store._connection.execute(
+            "SELECT payload, digest FROM campaign_chunks "
+            "WHERE key = ?", (key,)).fetchall()
+        assert rows
+        for payload, digest in rows:
+            assert digest == chunk_digest(payload)
+
+    def test_corrupt_chunk_misses_quarantines_and_heals(
+            self, store, machine, plan, golden):
+        from repro.fi.chaos import corrupt_chunk
+
+        fresh, key = self._populate(store, machine, plan, golden)
+        corrupt_chunk(store, key, chunk_index=1)
+        with pytest.warns(RuntimeWarning, match="digest mismatch"):
+            assert store.get(key) is None
+        assert store.quarantined() == [(key, 1, "digest mismatch")]
+        # The clean miss makes the caching runner re-execute; the
+        # rewrite replaces the damaged archive and clears quarantine.
+        rerun = CachingRunner(store).run(machine, plan, golden=golden,
+                                         chunk_size=7)
+        assert not rerun.cached
+        assert_same_aggregates(fresh, rerun)
+        assert store.quarantined() == []
+        healed = store.get(key)
+        assert healed is not None
+        assert_same_aggregates(fresh, healed)
+
+    def test_quarantined_key_keeps_missing_without_rewarning(
+            self, store, machine, plan, golden):
+        from repro.fi.chaos import corrupt_chunk
+
+        _, key = self._populate(store, machine, plan, golden)
+        corrupt_chunk(store, key)
+        with pytest.warns(RuntimeWarning):
+            assert store.get(key) is None
+        assert store.get(key) is None    # already quarantined: silent
+
+    def test_pre_digest_row_decode_guard(self, store, machine, plan,
+                                         golden):
+        """Rows archived before the digest column existed (NULL digest)
+        fall back to decode validation: corruption surfaces as a
+        quarantining KeyError on load, and the key misses afterwards."""
+        _, key = self._populate(store, machine, plan, golden)
+        store._connection.execute(
+            "UPDATE campaign_chunks SET digest = NULL, payload = ? "
+            "WHERE key = ? AND chunk_index = 0",
+            (b"not zlib at all", key))
+        store._connection.commit()
+        result = store.get(key)          # meta + digests look fine
+        assert result is not None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            with pytest.raises(KeyError):
+                list(result.runs)
+        assert store.get(key) is None    # quarantine now blocks the hit
+
+    def test_verify_clean_store(self, store, machine, plan, golden):
+        self._populate(store, machine, plan, golden)
+        report = store.verify()
+        assert report["ok"]
+        assert report["corrupt"] == []
+        assert report["quarantined"] == 0
+        assert report["results"] == 1
+        assert report["chunks"] > 1
+
+    def test_verify_reports_exactly_the_corrupt_row(self, store, machine,
+                                                    function, plan,
+                                                    golden):
+        from repro.fi.chaos import corrupt_chunk
+
+        _, key = self._populate(store, machine, plan, golden)
+        other = plan_exhaustive(function, golden)[:40]
+        runner = CachingRunner(store)
+        runner.run(machine, other, golden=golden, chunk_size=7)
+        corrupt_chunk(store, key, chunk_index=2)
+        with pytest.warns(RuntimeWarning):
+            report = store.verify()
+        assert not report["ok"]
+        assert report["corrupt"] == [{"key": key, "chunk_index": 2,
+                                      "reason": "digest mismatch"}]
+        assert report["quarantined"] == 1
+        assert report["results"] == 2
+
+    def test_verify_flags_missing_chunk(self, store, machine, plan,
+                                        golden):
+        from repro.fi.chaos import drop_chunk
+
+        _, key = self._populate(store, machine, plan, golden)
+        drop_chunk(store, key, chunk_index=0)
+        with pytest.warns(RuntimeWarning):
+            report = store.verify()
+        assert not report["ok"]
+        assert {"key": key, "chunk_index": 0,
+                "reason": "missing chunk"} in report["corrupt"]
+
+    def test_wal_and_busy_timeout_active(self, store):
+        (mode,) = store._connection.execute(
+            "PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+        (timeout,) = store._connection.execute(
+            "PRAGMA busy_timeout").fetchone()
+        assert timeout >= 1000
+
+
+def _hammer_store(path, worker_id, iterations):
+    """One concurrent-writer process: stream many small archives into
+    a shared store.  Any surfaced ``database is locked`` kills the
+    process, which the parent test observes as a nonzero exitcode."""
+    from repro.fi.campaign import Aggregates, PlannedRun
+    from repro.fi.machine import Injection
+    from repro.store import ResultStore
+
+    records = [(PlannedRun(Injection(0, "r", bit), 0, None, None),
+                "masked", bytes([bit])) for bit in range(4)]
+    with ResultStore(path) as store:
+        for iteration in range(iterations):
+            writer = store.open_writer(
+                f"key-{worker_id}-{iteration % 3}", 2)
+            writer.write_chunk(records[:2])
+            writer.write_chunk(records[2:])
+            aggregates = Aggregates()
+            for _, effect, signature in records:
+                aggregates.add(effect, signature, 1)
+            writer.commit(aggregates)
+
+
+class TestConcurrentWriters:
+    """Acceptance: two processes writing the same store concurrently
+    both complete without ``database is locked`` surfacing."""
+
+    def test_two_processes_share_one_store(self, tmp_path):
+        import multiprocessing
+
+        path = str(tmp_path / "shared.sqlite")
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=_hammer_store,
+                                   args=(path, worker_id, 30))
+                   for worker_id in range(2)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+        assert [process.exitcode for process in workers] == [0, 0]
+        with ResultStore(path) as store:
+            assert len(store) == 6       # 2 writers x 3 rotating keys
+            report = store.verify()
+            assert report["ok"]

@@ -255,3 +255,79 @@ class TestSweep:
         spec = spec_for(["not-a-kernel"], max_runs=10)
         with pytest.raises(KeyError):
             run_sweep(spec, store)
+
+
+class TestSweepResilience:
+    """Cell-level retries and continue-on-error: a flaky cell is
+    re-attempted, a hopeless one is reported (not fatal) when the
+    caller opts in, and the reports carry the failures."""
+
+    def test_spec_parses_max_retries(self):
+        spec = parse_spec({"grid": {"kernels": ["bitcount"]},
+                           "engine": {"max_retries": 2}})
+        assert spec.max_retries == 2
+        assert parse_spec(
+            {"grid": {"kernels": ["bitcount"]}}).max_retries == 0
+        with pytest.raises(SweepSpecError):
+            parse_spec({"grid": {"kernels": ["bitcount"]},
+                        "engine": {"max_retries": -1}})
+
+    def test_flaky_cell_is_retried(self, tiny_ir, store, monkeypatch):
+        from repro.store.sweep import SweepRunner
+
+        spec = spec_for([tiny_ir], max_runs=40)
+        original = SweepRunner.run_cell
+        calls = []
+
+        def flaky(self, cell, progress=None):
+            calls.append(cell.kernel)
+            if len(calls) == 1:
+                raise RuntimeError("transient (chaos)")
+            return original(self, cell, progress=progress)
+
+        monkeypatch.setattr(SweepRunner, "run_cell", flaky)
+        report = run_sweep(spec, store, max_retries=2)
+        assert len(calls) == 2
+        assert report.cells_failed == 0
+        assert report.cells_run == 1
+        assert report.outcomes[0].error is None
+
+    def test_exhausted_retries_raise_by_default(self, store):
+        spec = spec_for(["not-a-kernel"], max_runs=10)
+        with pytest.raises(KeyError):
+            run_sweep(spec, store, max_retries=1)
+
+    def test_continue_on_error_reports_failed_cells(self, tiny_ir,
+                                                    store):
+        spec = spec_for(["not-a-kernel", tiny_ir], max_runs=40)
+        report = run_sweep(spec, store, continue_on_error=True)
+        assert report.cells_failed == 1
+        assert report.cells_run == 1
+        failed, good = report.outcomes
+        assert failed.error is not None
+        assert "KeyError" in failed.error
+        assert failed.key is None
+        assert good.error is None
+        assert good.effects
+
+    def test_failed_cells_in_reports(self, tiny_ir, store):
+        spec = spec_for(["not-a-kernel", tiny_ir], max_runs=40)
+        report = run_sweep(spec, store, continue_on_error=True)
+        data = report.to_json()
+        json.dumps(data)
+        assert data["totals"]["cells_failed"] == 1
+        errors = [cell["error"] for cell in data["cells"]]
+        assert sum(error is not None for error in errors) == 1
+        text = report.to_markdown()
+        assert "## Failed cells" in text
+        assert "not-a-kernel" in text
+        assert "1 cells FAILED" in report.summary()
+
+    def test_failed_cell_is_retried_on_next_sweep(self, tiny_ir, store):
+        """A failure archives nothing, so a later sweep re-attempts
+        exactly the failed cell."""
+        spec = spec_for(["not-a-kernel", tiny_ir], max_runs=40)
+        run_sweep(spec, store, continue_on_error=True)
+        again = run_sweep(spec, store, continue_on_error=True)
+        assert again.cells_failed == 1
+        assert again.cells_cached == 1

@@ -479,6 +479,87 @@ class TestSweep:
             main(["sweep", str(tmp_path / "nope.toml"), "--store",
                   str(tmp_path / "s.sqlite")])
 
+    def test_failed_cell_exits_nonzero(self, ir_file, tmp_path, capsys):
+        """A cell that cannot run is reported and flips the exit code,
+        but the surviving cells still execute and archive."""
+        import json as json_module
+
+        path = tmp_path / "mixed.json"
+        path.write_text(json_module.dumps({
+            "grid": {"kernels": ["not-a-kernel", ir_file]},
+            "engine": {"max_runs": 40}}))
+        store = str(tmp_path / "store.sqlite")
+        json_out = str(tmp_path / "sweep.json")
+        assert main(["sweep", str(path), "--store", store,
+                     "--json", json_out]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED cell: not-a-kernel" in captured.err
+        assert "1 cells FAILED" in captured.out
+        with open(json_out) as handle:
+            data = json_module.load(handle)
+        assert data["totals"]["cells_failed"] == 1
+
+    def test_max_retries_flag(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--max-retries", "2"]) == 0
+        assert "2 cells (2 executed" in capsys.readouterr().out
+
+
+class TestStoreVerify:
+    def _build_store(self, ir_file, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(SWEEP_SPEC_JSON % ir_file)
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", str(spec), "--store", store]) == 0
+        return str(spec), store
+
+    def test_verify_clean_store(self, ir_file, tmp_path, capsys):
+        _, store = self._build_store(ir_file, tmp_path)
+        assert main(["store", "verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "2 results" in out
+
+    def test_verify_corruption_roundtrip(self, ir_file, tmp_path,
+                                         capsys):
+        """Acceptance path: corrupt one chunk row, `store verify`
+        flags exactly that row, a warm sweep re-executes only the
+        damaged cell, and the store verifies clean again."""
+        import json as json_module
+
+        from repro.fi.chaos import corrupt_chunk
+        from repro.store import ResultStore
+
+        spec, store = self._build_store(ir_file, tmp_path)
+        capsys.readouterr()
+        with ResultStore(store) as opened:
+            keys = opened.keys()
+            corrupt_chunk(opened, keys[0], chunk_index=0)
+        json_out = str(tmp_path / "verify.json")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert main(["store", "verify", store,
+                         "--json", json_out]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert keys[0] in captured.err
+        with open(json_out) as handle:
+            report = json_module.load(handle)
+        assert report["corrupt"] == [{"key": keys[0], "chunk_index": 0,
+                                      "reason": "digest mismatch"}]
+        # Warm sweep: only the quarantined cell re-executes...
+        assert main(["sweep", spec, "--store", store]) == 0
+        assert "(1 executed, 1 from cache)" in capsys.readouterr().out
+        # ...and the rewrite healed the archive.
+        assert main(["store", "verify", store]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fresh_store_is_ok(self, tmp_path, capsys):
+        # A nonexistent path is simply an empty store — verify reports
+        # it OK with zero results rather than crashing.
+        assert main(["store", "verify",
+                     str(tmp_path / "fresh.sqlite")]) == 0
+        assert "0 results" in capsys.readouterr().out
+
 
 class TestCampaignStore:
     def test_campaign_store_roundtrip(self, ir_file, tmp_path, capsys):
