@@ -46,6 +46,7 @@ import math
 import time
 import tracemalloc
 
+from repro import obs
 from repro.bec.analysis import run_bec
 from repro.bench.programs import compile_benchmark, get_benchmark
 from repro.fi.campaign import plan_bec, plan_exhaustive, run_campaign
@@ -171,6 +172,47 @@ def bench_row(name, family, mode):
     }
 
 
+#: Ceiling on the tracer's measured overhead (percent): spans are
+#: chunk-granularity, so enabling tracing must stay in the noise, and
+#: the disabled path (the shared no-op span) is cheaper still.
+OBS_OVERHEAD_GATE_PCT = 2.0
+
+
+def obs_overhead_smoke(name="bitcount", repeats=5):
+    """Tracer-enabled vs tracer-disabled wall time on one exhaustive
+    smoke row, interleaved min-of-``repeats`` so clock drift cancels."""
+    function, threaded, _, regs, golden = prepare(name)
+    plan = sliced(plan_exhaustive(function, golden),
+                  TARGET_RUNS[("exhaustive", "smoke")])
+    interval = interval_for(golden)
+    engine = CampaignEngine(threaded, plan, regs=regs, golden=golden)
+    engine.run(checkpoint_interval=interval)        # warm-up
+    tracer = obs.tracer()
+    disabled_s = enabled_s = math.inf
+    for _ in range(repeats):
+        _, elapsed = timed(lambda: engine.run(
+            checkpoint_interval=interval))
+        disabled_s = min(disabled_s, elapsed)
+        tracer.start()
+        try:
+            _, elapsed = timed(lambda: engine.run(
+                checkpoint_interval=interval))
+        finally:
+            tracer.stop()
+        enabled_s = min(enabled_s, elapsed)
+    overhead_pct = (enabled_s / disabled_s - 1.0) * 100.0
+    return {
+        "program": name,
+        "plan_runs": len(plan),
+        "repeats": repeats,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": overhead_pct,
+        "gate_pct": OBS_OVERHEAD_GATE_PCT,
+        "passed": overhead_pct < OBS_OVERHEAD_GATE_PCT,
+    }
+
+
 def geomean(values):
     return math.exp(sum(math.log(value) for value in values)
                     / len(values))
@@ -216,18 +258,29 @@ def main(argv=None):
           f"(reported only: the BEC plan is the non-masked residue, "
           f"so divergent scalar escapes dominate)")
 
+    overhead = obs_overhead_smoke()
+    print(f"obs overhead ({overhead['program']}, "
+          f"{overhead['plan_runs']} runs, min of "
+          f"{overhead['repeats']}): tracer enabled "
+          f"{overhead['enabled_s']:.3f}s vs disabled "
+          f"{overhead['disabled_s']:.3f}s -> "
+          f"{overhead['overhead_pct']:+.2f}% (gate < "
+          f"{overhead['gate_pct']:.0f}%) "
+          f"{'PASS' if overhead['passed'] else 'FAIL'}")
+
     report = {
         "mode": mode,
         "gate": {"family": "exhaustive", "threshold": gate,
                  "geomean": gated, "passed": gated >= gate},
         "geomean_batched_vs_engine": by_family,
+        "obs_overhead": overhead,
         "rows": rows,
     }
     with open(options.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {options.output}")
-    return 0 if gated >= gate else 1
+    return 0 if gated >= gate and overhead["passed"] else 1
 
 
 if __name__ == "__main__":

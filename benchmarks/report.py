@@ -91,6 +91,13 @@ def report_campaign(data):
               f"{best['speedup_batched_vs_engine']:.2f}x "
               f"({best['plan_runs']} runs over {best['trace_cycles']} "
               f"cycles)")
+    overhead = data.get("obs_overhead")
+    if overhead:
+        verdict = "PASS" if overhead.get("passed") else "FAIL"
+        print(f"  obs tracer overhead ({overhead.get('program', '?')}): "
+              f"{overhead.get('overhead_pct', 0.0):+.2f}% "
+              f"(gate < {overhead.get('gate_pct', 0.0):.0f}%) "
+              f"-> {verdict}")
 
 
 def report_sweep(data):
@@ -106,6 +113,16 @@ def report_sweep(data):
               f"({stats.get('archived_runs', 0)} runs, "
               f"{stats.get('archived_wall_time', 0.0):.1f}s of "
               f"simulation banked)")
+    metrics = data.get("metrics", {})
+    if metrics:
+        hits = metrics.get("store.hits", 0)
+        misses = metrics.get("store.misses", 0)
+        lookups = hits + misses
+        hit_rate = (f"{hits / lookups:.0%} cache hit rate "
+                    f"({hits}/{lookups})" if lookups else "no lookups")
+        print(f"  metrics: {hit_rate}, "
+              f"{metrics.get('engine.runs_executed', 0)} runs executed, "
+              f"{metrics.get('engine.recoveries', 0)} worker recoveries")
     cells = data.get("cells", [])
     for cell in cells[:8]:
         effects = cell.get("effects", {})

@@ -17,6 +17,7 @@ Usage (``python -m repro <command> ...``)::
     fuzz     [--count N] [--seed N]            random-program soundness
     sweep    SPEC.{toml,json} --store DB       cached campaign grid
     store    verify DB                         audit a result store
+    obs      summarize TRACE.json              trace self-time breakdown
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
@@ -29,6 +30,13 @@ sharded across processes, and interrupted sweeps resume.  ``campaign
 ``campaign``, ``sample`` and ``harden`` accept the same ``-O{0,1,2}`` /
 ``--no-opt`` optimization knobs as ``compile``, so analyses and
 campaigns can run at a matching optimization level.
+
+``campaign``, ``sample`` and ``sweep`` also accept the telemetry
+flags: ``--trace FILE.json`` records the invocation's spans and writes
+Chrome trace-event JSON (loadable in Perfetto, summarizable with
+``repro obs summarize``), and ``--metrics [FILE|-]`` writes the final
+metrics-registry snapshot as JSON (``-`` or no value prints it to
+stdout).
 """
 
 import argparse
@@ -470,6 +478,17 @@ def cmd_sweep(options):
     return 0
 
 
+def cmd_obs_summarize(options):
+    from repro.obs.summarize import load_trace, render_table
+
+    try:
+        events = load_trace(options.trace_file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load trace: {error}")
+    print(render_table(events, limit=options.limit))
+    return 0
+
+
 def cmd_store_verify(options):
     from repro.store import ResultStore
 
@@ -576,6 +595,17 @@ def build_parser():
         sub.add_argument("--no-opt", action="store_true",
                          help="alias for -O0")
 
+    def add_obs_arguments(sub):
+        sub.add_argument("--trace", metavar="FILE.json", default=None,
+                         help="record this invocation's spans and "
+                              "write them as Chrome trace-event JSON "
+                              "(view in Perfetto, or `repro obs "
+                              "summarize FILE.json`)")
+        sub.add_argument("--metrics", metavar="FILE", nargs="?",
+                         const="-", default=None,
+                         help="write the final metrics snapshot as "
+                              "JSON to FILE ('-' or no value: stdout)")
+
     sub = add("compile", cmd_compile, help="compile mini-C to IR")
     sub.add_argument("-o", "--output")
     add_opt_arguments(sub)
@@ -644,6 +674,7 @@ def build_parser():
                      help="content-addressed result store: serve the "
                           "executed campaign from DB when its cell is "
                           "archived, archive it otherwise")
+    add_obs_arguments(sub)
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
@@ -693,6 +724,7 @@ def build_parser():
                      metavar="CYCLES",
                      help="resume sampled runs from golden-run "
                           "snapshots (0 = off)")
+    add_obs_arguments(sub)
     sub.add_argument("--args", nargs="*", type=lambda v: int(v, 0),
                      default=[])
 
@@ -741,6 +773,7 @@ def build_parser():
                           "engine.max_retries, else 0); any cell that "
                           "ultimately fails makes the sweep exit "
                           "nonzero after finishing the rest")
+    add_obs_arguments(sub)
 
     store_cmd = commands.add_parser(
         "store", help="result-store maintenance")
@@ -756,6 +789,18 @@ def build_parser():
     sub.add_argument("--json", metavar="PATH",
                      help="write the audit report as JSON")
 
+    obs_cmd = commands.add_parser(
+        "obs", help="telemetry utilities")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    sub = obs_sub.add_parser(
+        "summarize",
+        help="per-span self-time breakdown of a --trace export")
+    sub.set_defaults(handler=cmd_obs_summarize)
+    sub.add_argument("trace_file",
+                     help="Chrome trace-event JSON (or span JSONL)")
+    sub.add_argument("--limit", type=int, default=20, metavar="N",
+                     help="rows to show (default 20)")
+
     sub = commands.add_parser(
         "fuzz", help="random-program differential soundness check")
     sub.set_defaults(handler=cmd_fuzz)
@@ -769,9 +814,55 @@ def build_parser():
     return parser
 
 
+def _start_observability(options):
+    """Enable span recording before the handler when ``--trace`` asks
+    for it (the registry needs no arming: it is always on)."""
+    if getattr(options, "trace", None):
+        from repro import obs
+
+        obs.tracer().start()
+
+
+def _finish_observability(options):
+    """Export the telemetry artifacts the invocation asked for.
+
+    Runs in a ``finally`` so a failing command still leaves its trace
+    and metrics behind — usually exactly when you want them."""
+    trace = getattr(options, "trace", None)
+    metrics = getattr(options, "metrics", None)
+    if trace:
+        from repro import obs
+
+        tracer = obs.tracer()
+        tracer.stop()
+        n_events = tracer.export_chrome(trace)
+        print(f"wrote {trace} ({n_events} trace events)",
+              file=sys.stderr)
+    if metrics is not None:
+        import json
+
+        from repro import obs
+
+        registry = obs.metrics()
+        payload = json.dumps({"kind": "metrics",
+                              "totals": registry.totals(),
+                              "families": registry.snapshot()},
+                             indent=2, sort_keys=True)
+        if metrics == "-":
+            print(payload)
+        else:
+            with open(metrics, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {metrics}", file=sys.stderr)
+
+
 def main(argv=None):
     options = build_parser().parse_args(argv)
-    return options.handler(options)
+    _start_observability(options)
+    try:
+        return options.handler(options)
+    finally:
+        _finish_observability(options)
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ the engine falls back to the scalar threaded path when it is missing.
 
 import bisect
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.fi.campaign import EFFECT_MASKED, EFFECT_SDC, classify_effect
 from repro.fi.machine import Injection
@@ -499,6 +500,10 @@ class BatchClassifier:
                                      golden.outcome, golden.trap_kind)
         self.snap_cycles = [snapshot.cycle for snapshot in snapshots]
         self._snap_cols = {}
+        # Per-classify_indices tallies, flushed to the metrics registry
+        # once per call (ROADMAP item 3: escape attribution).
+        self._escape_counts = {}         # divergence pp -> lanes escaped
+        self._retired = {"masked": 0, "sdc": 0}
 
     # -- setup ----------------------------------------------------------------
 
@@ -618,12 +623,41 @@ class BatchClassifier:
 
         while queue:
             queue = self._sweep(queue, results, retire)
+        scalar_direct = 0
         for index in indices:
             if index not in results:
+                scalar_direct += 1
                 results[index] = self._classify_scalar(
                     self.plan[index].injection)
                 retire(1)
+        self._flush_metrics(scalar_direct)
         return [results[index] for index in indices]
+
+    def _flush_metrics(self, scalar_direct):
+        """Fold this call's tallies into the metrics registry: lanes
+        retired in lockstep by outcome class, lanes that escaped to
+        the scalar core labeled by the program point/opcode where they
+        diverged from the golden path, and plan entries that never had
+        a lockstep lane at all (memory faults, multi-event upsets)."""
+        registry = obs.metrics()
+        retired = self._retired
+        for outcome in ("masked", "sdc"):
+            if retired[outcome]:
+                registry.counter("batch.lanes_retired",
+                                 outcome=outcome).inc(retired[outcome])
+        if self._escape_counts:
+            escaped = sum(self._escape_counts.values())
+            registry.counter("batch.lanes_retired",
+                             outcome="escape").inc(escaped)
+            function = self.machine.function
+            for pp, count in sorted(self._escape_counts.items()):
+                opcode = function.instruction_at(pp).opcode.name
+                registry.counter("batch.escapes", pp=str(pp),
+                                 opcode=opcode).inc(count)
+        if scalar_direct:
+            registry.counter("batch.scalar_direct").inc(scalar_direct)
+        self._escape_counts = {}
+        self._retired = {"masked": 0, "sdc": 0}
 
     def _sweep(self, queue, results, retire):
         """One rolling pass down the golden trace.  Consumes as many
@@ -650,6 +684,8 @@ class BatchClassifier:
         lane_fire = np.full(lanes, -2, dtype=np.int64)
         free = list(range(lanes))
         sched = {}                      # fire cycle -> [(lane, slot, bit)]
+        escape_counts = self._escape_counts
+        retired_counts = self._retired
         escapes = []
         leftovers = []
         qi = 0
@@ -712,15 +748,20 @@ class BatchClassifier:
                 lane = int(lane)
                 if retire_event is None:          # escape to scalar core
                     escapes.append(lane_plan[lane])
+                    pp = int(executed[cycle])     # divergence site
+                    escape_counts[pp] = escape_counts.get(pp, 0) + 1
                 else:
                     if ctx.clean[lane]:
                         record = self._masked_record
+                        retired_counts["masked"] += 1
                     elif at_end and ctx.ret_vals is not None:
                         record = dirty_record(lane, retire_event,
                                               int(ctx.ret_vals[lane]))
+                        retired_counts["sdc"] += 1
                     else:     # reconverged: the suffix (incl. ret) is golden
                         record = dirty_record(lane, retire_event,
                                               golden.returned)
+                        retired_counts["sdc"] += 1
                     results[lane_plan[lane]] = record
                     count += 1
                 active[lane] = False

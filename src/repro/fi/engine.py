@@ -68,6 +68,7 @@ import multiprocessing
 import time
 from multiprocessing import connection as mp_connection
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.fi import batch
 from repro.fi.campaign import (EFFECT_MASKED, CampaignResult,
@@ -148,6 +149,11 @@ class _WorkerContext:
 
     def classify_indices(self, indices, progress=None):
         """Records for the plan entries at *indices* (in order)."""
+        # The one choke point every execution schedule funnels through
+        # (serial, forked workers, lockstep lanes): counting here gives
+        # `engine.runs_executed` exactly once per simulated injection,
+        # and worker-side increments merge back over the result pipe.
+        obs.metrics().counter("engine.runs_executed").inc(len(indices))
         if self.classifier is not None:
             return self.classifier.classify_indices(indices,
                                                     progress=progress)
@@ -183,7 +189,18 @@ def _worker_main(context, conn, chunk_index, n_chunks, chunk_size,
     A clean exit ends with ``("done",)``; a Python exception is
     reported as ``("error", message)`` (deterministic failures are not
     worth retrying).  Death by signal sends nothing — the supervisor
-    detects the EOF/exitcode and re-assigns whatever is missing."""
+    detects the EOF/exitcode and re-assigns whatever is missing.
+
+    Telemetry: the worker inherits the parent's metrics registry by
+    fork-copy, marks it at entry and ships the delta back as a
+    ``("metrics", delta)`` message just before ``("done",)``, so the
+    parent's registry absorbs worker-side counts (runs executed,
+    batch escape attribution) exactly once.  A worker that dies loses
+    its un-shipped delta — the re-dispatched segments count again, so
+    metrics stay best-effort-accurate under recovery while the record
+    stream itself stays bit-identical."""
+    registry = obs.metrics()
+    fork_mark = registry.mark()
     mine = context.todo[chunk_index::n_chunks]
     try:
         for segment_index in segments:
@@ -193,6 +210,7 @@ def _worker_main(context, conn, chunk_index, n_chunks, chunk_size,
             low = segment_index * chunk_size
             records = context.classify_indices(mine[low:low + chunk_size])
             conn.send(("segment", segment_index, records))
+        conn.send(("metrics", registry.delta_since(fork_mark)))
         conn.send(("done",))
     except Exception as exc:
         try:
@@ -208,7 +226,7 @@ class _ChunkState:
     """Supervisor-side bookkeeping for one strided chunk."""
 
     __slots__ = ("index", "n_segments", "received", "attempt", "process",
-                 "conn")
+                 "conn", "span")
 
     def __init__(self, index, n_segments):
         self.index = index
@@ -217,6 +235,7 @@ class _ChunkState:
         self.attempt = 0                # times a worker was started
         self.process = None
         self.conn = None
+        self.span = None                # live engine.worker trace span
 
     @property
     def missing(self):
@@ -293,6 +312,16 @@ class _Supervisor:
         state.process = process
         state.conn = parent_conn
         state.attempt += 1
+        obs.metrics().counter("engine.worker_spawns").inc()
+        obs.logger().debug("engine.worker_spawned", chunk=state.index,
+                           attempt=state.attempt,
+                           segments=len(state.missing))
+        # Worker attempts overlap in wall time, so each renders on its
+        # own synthetic trace lane instead of the caller's span stack.
+        state.span = obs.tracer().span(
+            "engine.worker", tid=1000 + state.index, chunk=state.index,
+            attempt=state.attempt, segments=len(state.missing))
+        state.span.__enter__()
 
     def _drain(self):
         while True:
@@ -327,6 +356,8 @@ class _Supervisor:
                 state.received.add(segment_index)
                 self.assembler.push(self.undealer.add(
                     state.index, segment_index, records))
+        elif kind == "metrics":
+            obs.metrics().merge(message[1])
         elif kind == "done":
             self._retire(state)
             if not state.complete:      # claimed done but segments miss
@@ -347,7 +378,14 @@ class _Supervisor:
     def _worker_ended(self, state):
         """The worker's pipe hit EOF (or went unreadable): reap it and
         recover whatever it left unfinished."""
+        process = state.process
         self._retire(state)
+        exitcode = process.exitcode if process is not None else None
+        obs.metrics().counter("engine.worker_deaths").inc()
+        obs.logger().warning(
+            "engine.worker_died", chunk=state.index,
+            attempt=state.attempt, exitcode=exitcode,
+            missing_segments=len(state.missing))
         if not state.complete:
             self._recover(state)
 
@@ -358,11 +396,15 @@ class _Supervisor:
         if state.process is not None:
             state.process.join()
             state.process = None
+        if state.span is not None:
+            state.span.__exit__(None, None, None)
+            state.span = None
 
     def _recover(self, state):
         """Re-assign a dead worker's missing segments: bounded respawn
         with exponential backoff, then serial in-parent execution."""
         self.recoveries += 1
+        obs.metrics().counter("engine.recoveries").inc()
         if state.attempt > self.worker_retries:
             self._finish_serially(state)
             return
@@ -374,11 +416,17 @@ class _Supervisor:
         chunk's missing segments in the parent.  Identical records by
         construction — same indices, same classifier."""
         self.serial_chunks += 1
+        obs.metrics().counter("engine.serial_degraded_chunks").inc()
+        obs.logger().warning("engine.serial_degrade", chunk=state.index,
+                             attempts=state.attempt,
+                             missing_segments=len(state.missing))
         mine = self.context.todo[state.index::self.n_chunks]
         for segment_index in state.missing:
             low = segment_index * self.chunk_size
-            records = self.context.classify_indices(
-                mine[low:low + self.chunk_size])
+            with obs.tracer().span("engine.chunk", chunk=state.index,
+                                   segment=segment_index, serial=True):
+                records = self.context.classify_indices(
+                    mine[low:low + self.chunk_size])
             state.received.add(segment_index)
             self.assembler.push(self.undealer.add(
                 state.index, segment_index, records))
@@ -392,6 +440,9 @@ class _Supervisor:
                 state.process.terminate()
                 state.process.join()
                 state.process = None
+            if state.span is not None:
+                state.span.__exit__(None, None, None)
+                state.span = None
 
 
 class CampaignEngine:
@@ -413,8 +464,28 @@ class CampaignEngine:
             else machine.run(regs=regs)
         self.max_cycles = max_cycles if max_cycles is not None \
             else max(4 * self.golden.cycles + 256, 1024)
-        self.recoveries = 0              # dead workers healed, last run
-        self.serial_degraded_chunks = 0  # chunks finished in-parent
+        # Supervision telemetry lives in the metrics registry
+        # (`engine.recoveries` / `engine.serial_degraded_chunks`); the
+        # engine keeps per-run marks so the historical attributes read
+        # as "healings of the latest run()" exactly as before.
+        registry = obs.metrics()
+        self._recoveries_counter = registry.counter("engine.recoveries")
+        self._degraded_counter = registry.counter(
+            "engine.serial_degraded_chunks")
+        self._recoveries_mark = self._recoveries_counter.value
+        self._degraded_mark = self._degraded_counter.value
+
+    @property
+    def recoveries(self):
+        """Dead workers healed during the latest :meth:`run` (a
+        read-through alias over the ``engine.recoveries`` counter)."""
+        return self._recoveries_counter.value - self._recoveries_mark
+
+    @property
+    def serial_degraded_chunks(self):
+        """Chunks the latest :meth:`run` finished in-parent (alias
+        over the ``engine.serial_degraded_chunks`` counter)."""
+        return self._degraded_counter.value - self._degraded_mark
 
     def run(self, workers=1, checkpoint_interval=None, progress=None,
             prune=None, batch_lanes=None, sink=None, chunk_size=None,
@@ -450,20 +521,33 @@ class CampaignEngine:
             chunk_size = DEFAULT_CHUNK_SIZE
         elif chunk_size < 1:
             raise SimulationError("chunk size must be positive")
+        # Re-mark the supervision counters so the read-through aliases
+        # report the latest run only (observable by tests and
+        # reporting: how often did the run actually self-heal?).
+        self._recoveries_mark = self._recoveries_counter.value
+        self._degraded_mark = self._degraded_counter.value
+        obs.metrics().counter("engine.campaigns").inc()
+        with obs.tracer().span("engine.campaign", runs=len(self.plan),
+                               core=self.machine.core, workers=workers):
+            return self._run(workers, checkpoint_interval, progress,
+                             prune, batch_lanes, sink, chunk_size,
+                             chaos, worker_retries, retry_backoff)
+
+    def _run(self, workers, checkpoint_interval, progress, prune,
+             batch_lanes, sink, chunk_size, chaos, worker_retries,
+             retry_backoff):
         start = time.perf_counter()
-        # Supervision telemetry of the latest run (observable by tests
-        # and reporting: how often did the run actually self-heal?).
-        self.recoveries = 0
-        self.serial_degraded_chunks = 0
         batched = (self.machine.core == "batched"
                    and batch.numpy_available())
         if batched and not checkpoint_interval:
             checkpoint_interval = max(1, self.golden.cycles // 32)
         snapshots = None
         if checkpoint_interval:
-            _, snapshots = self.machine.run_with_snapshots(
-                regs=self.regs, interval=checkpoint_interval,
-                max_cycles=self.max_cycles)
+            with obs.tracer().span("engine.golden_snapshots",
+                                   interval=checkpoint_interval):
+                _, snapshots = self.machine.run_with_snapshots(
+                    regs=self.regs, interval=checkpoint_interval,
+                    max_cycles=self.max_cycles)
         total = len(self.plan)
         # A range, not a list: the pending-index set is O(1) resident
         # until pruning actually filters it, keeping the streamed
@@ -479,6 +563,8 @@ class CampaignEngine:
                     if not pruner.provably_masked(
                         self.plan[index].injection)]
             pruned = total - len(todo)
+            if pruned:
+                obs.metrics().counter("engine.runs_pruned").inc(pruned)
         classifier = None
         if batched and todo and batch.batchable(
                 self.machine, self.golden, snapshots, self.max_cycles):
@@ -539,9 +625,11 @@ class CampaignEngine:
 
     def _run_serial(self, context, chunk_size, assembler):
         todo = context.todo
+        tracer = obs.tracer()
         for low in range(0, len(todo), chunk_size):
-            assembler.push(context.classify_indices(
-                todo[low:low + chunk_size]))
+            indices = todo[low:low + chunk_size]
+            with tracer.span("engine.chunk", low=low, size=len(indices)):
+                assembler.push(context.classify_indices(indices))
 
     def _run_parallel(self, context, workers, chunk_size, assembler,
                       chaos, worker_retries, retry_backoff):
@@ -556,5 +644,3 @@ class CampaignEngine:
                                  worker_retries=worker_retries,
                                  retry_backoff=retry_backoff)
         supervisor.run()
-        self.recoveries = supervisor.recoveries
-        self.serial_degraded_chunks = supervisor.serial_chunks

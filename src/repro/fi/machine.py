@@ -36,6 +36,7 @@ and the threaded core inlines those semantics at decode time.
 
 from repro.errors import MachineTrap, SimulationError
 from repro.fi import threaded
+from repro.obs.profile import PROFILER as _PROFILER
 from repro.fi.trace import (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_TRAP,
                             TRAP_DETECTED, Trace)
 from repro.ir.concrete import alu, branch_taken, mask, unary
@@ -645,6 +646,10 @@ class Machine:
             # budgeted cycle as a timeout (its loop re-enters the budget
             # check before noticing the return); match it bit-for-bit.
             trace.outcome = OUTCOME_TIMEOUT
+        if _PROFILER.enabled and trace.executed:
+            # Sampled post-run, so the per-cycle closure loop above
+            # stays untouched; zero cost while the profiler is off.
+            _PROFILER.observe(self.function, trace.executed)
         return trace
 
     # -- the reference core ------------------------------------------------------

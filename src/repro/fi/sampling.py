@@ -26,6 +26,7 @@ import math
 import random
 from collections import namedtuple
 
+from repro import obs
 from repro.ir.liveness import compute_liveness
 from repro.fi.accounting import iter_bit_instances
 from repro.fi.campaign import (EFFECT_MASKED, classify_effect,
@@ -226,6 +227,13 @@ def estimate_avf(machine, function, trace, budget, seed=0, regs=None,
             simulator_runs += 1
     vulnerable = sum(1 for site in sampled
                      if not site.masked and cache[site.key])
+    registry = obs.metrics()
+    registry.counter("sample.trials",
+                     help="AVF estimator samples drawn").inc(budget)
+    registry.counter("sample.simulator_runs",
+                     help="Simulator runs the estimator paid for "
+                          "(dedup + masked-free sites excluded)"
+                     ).inc(simulator_runs)
     low, high = wilson_interval(vulnerable, budget, confidence=confidence)
     return AVFEstimate(avf=vulnerable / budget, low=low, high=high,
                        trials=budget, vulnerable=vulnerable,

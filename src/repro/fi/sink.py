@@ -41,8 +41,10 @@ fan-out — :class:`repro.store.db.ResultStore` plugs in through
 import pickle
 import sqlite3
 import tempfile
+import time
 import warnings
 
+from repro import obs
 from repro.fi.campaign import Aggregates
 
 
@@ -67,18 +69,31 @@ class RunSink:
 
 
 class TeeSink(RunSink):
-    """Fans one record stream out to several sinks, in order."""
+    """Fans one record stream out to several sinks, in order.
+
+    As the single point every campaign's chunk stream passes through,
+    the tee also attributes consume time to each downstream sink
+    (``sink.consume_seconds{sink=<ClassName>}``), so a slow archive
+    writer or progress callback shows up in the metrics snapshot.
+    """
 
     def __init__(self, sinks):
         self.sinks = list(sinks)
+        registry = obs.metrics()
+        self._timed = [(sink, registry.histogram(
+            "sink.consume_seconds",
+            help="Per-sink chunk consume time",
+            sink=type(sink).__name__)) for sink in self.sinks]
 
     def begin(self, meta):
         for sink in self.sinks:
             sink.begin(meta)
 
     def consume(self, chunk):
-        for sink in self.sinks:
+        for sink, histogram in self._timed:
+            start = time.perf_counter()
             sink.consume(chunk)
+            histogram.observe(time.perf_counter() - start)
 
     def finish(self, summary):
         for sink in self.sinks:
@@ -237,6 +252,9 @@ class SpoolSink(RunSink):
         offset = self._spool.seek(0, 2)
         self._spool.write(frame)
         self._frames.append((offset, len(frame), len(pairs)))
+        registry = obs.metrics()
+        registry.counter("sink.spool_bytes").inc(len(frame))
+        registry.counter("sink.spool_frames").inc()
 
     def finish(self, summary):
         self._view = SpooledRuns(self._plan, self._chunk_size,
@@ -304,6 +322,9 @@ class StoreWriterSink(RunSink):
             if not _is_lock_error(exc):
                 raise
             self._writer.abort()
+            obs.logger().warning("store.archive_dropped", key=self.key,
+                                 error=str(exc))
+            obs.metrics().counter("store.archives_dropped").inc()
             warnings.warn(
                 f"result store stayed locked; campaign not archived "
                 f"under {self.key} ({exc})", RuntimeWarning,

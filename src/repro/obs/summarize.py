@@ -1,0 +1,107 @@
+"""Self-time breakdown of an exported trace (``repro obs summarize``).
+
+Loads Chrome trace-event JSON (the ``--trace`` artifact; a bare event
+list or a JSONL span stream also work), reconstructs span nesting per
+``(pid, tid)`` lane from timestamp containment, and attributes each
+span's *self time* — its duration minus the duration of its direct
+children — to its name.  The rendered table answers "where does
+campaign wall time actually go" without opening Perfetto.
+"""
+
+import json
+
+
+def load_trace(path):
+    """The ``"X"`` (complete) events of a trace file.
+
+    Accepts the Chrome export (``{"traceEvents": [...]}``), a bare
+    event list, or a tracer JSONL stream (one span record per line).
+    """
+    with open(path, encoding="utf-8") as handle:
+        head = handle.read(1)
+        handle.seek(0)
+        if head == "{":
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError:
+                handle.seek(0)
+                data = [json.loads(line) for line in handle if line.strip()]
+        else:
+            data = json.load(handle)
+    if isinstance(data, dict):
+        if "traceEvents" in data:
+            data = data["traceEvents"]
+        else:
+            data = [data]            # a one-line JSONL stream
+
+    events = []
+    for event in data:
+        if event.get("ph", "X") != "X":
+            continue
+        if "ts" not in event or "dur" not in event:
+            continue
+        events.append(event)
+    return events
+
+
+def self_times(events):
+    """Per-name aggregation ``{name: {"count", "total", "self"}}``
+    (microseconds), computed per ``(pid, tid)`` lane: a span's self
+    time excludes the duration of spans it contains."""
+    lanes = {}
+    for event in events:
+        lanes.setdefault((event.get("pid", 0), event.get("tid", 0)),
+                         []).append(event)
+    aggregate = {}
+    for lane_events in lanes.values():
+        lane_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []                      # [(end_ts, child_dur_box)]
+        for event in lane_events:
+            start = event["ts"]
+            duration = event["dur"]
+            end = start + duration
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            if stack:
+                stack[-1][1][0] += duration
+            child_box = [0.0]
+            stack.append((end, child_box))
+            entry = aggregate.setdefault(
+                event["name"], {"count": 0, "total": 0.0, "self": 0.0})
+            entry["count"] += 1
+            entry["total"] += duration
+            # Self time is resolved lazily: children subtract from the
+            # box this span pushed, read back when the span pops.  The
+            # box is shared by reference, so record it for later.
+            entry.setdefault("_boxes", []).append((duration, child_box))
+    for entry in aggregate.values():
+        entry["self"] = sum(duration - box[0]
+                            for duration, box in entry.pop("_boxes"))
+    return aggregate
+
+
+def render_table(events, limit=20):
+    """The self-time table as printable text, widest cost first."""
+    aggregate = self_times(events)
+    if not aggregate:
+        return "(no span events)"
+    wall = sum(entry["self"] for entry in aggregate.values())
+    rows = sorted(aggregate.items(),
+                  key=lambda item: -item[1]["self"])[:limit]
+    name_width = max(len("(accounted wall)"),
+                     max(len(name) for name, _ in rows))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>7}  {'total ms':>10}  "
+        f"{'self ms':>10}  {'self %':>6}",
+        "-" * (name_width + 41),
+    ]
+    for name, entry in rows:
+        share = entry["self"] / wall if wall else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {entry['count']:>7}  "
+            f"{entry['total'] / 1000.0:>10.3f}  "
+            f"{entry['self'] / 1000.0:>10.3f}  {share:>6.1%}")
+    lines.append(
+        f"{'(accounted wall)':<{name_width}}  {'':>7}  {'':>10}  "
+        f"{wall / 1000.0:>10.3f}  {1:>6.0%}")
+    return "\n".join(lines)

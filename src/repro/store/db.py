@@ -50,6 +50,7 @@ import zlib
 from datetime import datetime, timezone
 
 import repro
+from repro import obs
 from repro.fi.campaign import Aggregates, CampaignResult, PlannedRun
 from repro.fi.machine import Injection
 from repro.store.keys import SCHEMA_VERSION
@@ -127,15 +128,21 @@ def _is_lock_error(exc):
     return "database is locked" in message or "database is busy" in message
 
 
-def _quarantine(connection, key, chunk_index, reason):
+def _quarantine(connection, key, chunk_index, reason, digest=None):
     """Record one damaged row (idempotent) and warn; ``chunk_index``
-    -1 marks damage in the meta row itself."""
+    -1 marks damage in the meta row itself.  Emits a structured
+    ``store.quarantine`` event (carrying the key and, when known, the
+    expected digest) *and* keeps raising the ``RuntimeWarning`` older
+    callers filter on."""
     connection.execute(
         "INSERT OR REPLACE INTO campaign_quarantine "
         "(key, chunk_index, reason, detected_at) VALUES (?, ?, ?, ?)",
         (key, chunk_index, reason,
          datetime.now(timezone.utc).isoformat()))
     connection.commit()
+    obs.metrics().counter("store.quarantined").inc()
+    obs.logger().warning("store.quarantine", key=key, chunk=chunk_index,
+                         reason=reason, digest=digest)
     warnings.warn(
         f"quarantined corrupt archive row (key={key}, "
         f"chunk={chunk_index}): {reason}", RuntimeWarning, stacklevel=3)
@@ -266,7 +273,7 @@ class StoredRuns:
         blob, digest = row
         if digest is not None and chunk_digest(blob) != digest:
             _quarantine(self._connection, self._key, chunk_index,
-                        "digest mismatch")
+                        "digest mismatch", digest=digest)
             raise KeyError(
                 f"corrupt chunk {chunk_index} of {self._key} "
                 "(digest mismatch; quarantined)")
@@ -274,10 +281,11 @@ class StoredRuns:
             records = decode_chunk(blob)
         except _DECODE_ERRORS as exc:
             _quarantine(self._connection, self._key, chunk_index,
-                        f"undecodable payload: {exc}")
+                        f"undecodable payload: {exc}", digest=digest)
             raise KeyError(
                 f"corrupt chunk {chunk_index} of {self._key} "
                 "(quarantined)") from exc
+        obs.metrics().counter("store.bytes_out").inc(len(blob))
         self._cache_index = chunk_index
         self._cache = records
         return records
@@ -337,6 +345,7 @@ class ChunkWriter:
         self._n_runs += len(records)
         self._uncompressed += raw_size
         self._compressed += len(blob)
+        obs.metrics().counter("store.bytes_in").inc(len(blob))
 
     def commit(self, aggregates, pruned_runs=0, vectorized=False,
                wall_time=0.0):
@@ -366,7 +375,9 @@ class ChunkWriter:
              platform.node(), repro.__version__,
              datetime.now(timezone.utc).isoformat(),
              self._uncompressed, self._compressed))
-        self._store._commit()
+        with obs.tracer().span("store.commit", key=self._key,
+                               chunks=self._n_chunks):
+            self._store._commit()
 
     def abort(self):
         """Discard everything written since the writer opened."""
@@ -420,6 +431,9 @@ class ResultStore:
             except sqlite3.OperationalError as exc:
                 if not _is_lock_error(exc) or attempt >= retries:
                     raise
+                obs.metrics().counter("store.commit_retries").inc()
+                obs.logger().warning("store.commit_retry",
+                                     attempt=attempt, error=str(exc))
                 time.sleep(backoff * (1 << attempt))
 
     # -- lifecycle ---------------------------------------------------------
@@ -438,7 +452,20 @@ class ResultStore:
     def get(self, key):
         """The cached result for *key*, or ``None`` on a miss (also
         when the entry was written by an incompatible or corrupt
-        payload — old rows degrade to a re-execution, never a crash)."""
+        payload — old rows degrade to a re-execution, never a crash).
+
+        Every lookup counts into ``store.hits`` / ``store.misses``, the
+        pair CI's warm-sweep assertion reads.
+        """
+        with obs.tracer().span("store.get", key=key) as span:
+            result = self._get(key)
+            hit = result is not None
+            span.set("hit", hit)
+        obs.metrics().counter(
+            "store.hits" if hit else "store.misses").inc()
+        return result
+
+    def _get(self, key):
         row = self._connection.execute(
             "SELECT schema_version, payload, n_runs, wall_time "
             "FROM campaign_results WHERE key = ?", (key,)).fetchone()
@@ -503,7 +530,7 @@ class ResultStore:
                 (key, chunk_index)).fetchone()
             if chunk_digest(blob) != digest:
                 _quarantine(self._connection, key, chunk_index,
-                            "digest mismatch")
+                            "digest mismatch", digest=digest)
                 return False
         return True
 
@@ -595,25 +622,27 @@ class ResultStore:
         ``chunk_size`` groups, so archiving a spooled result never
         materializes it.
         """
-        writer = self.open_writer(key, chunk_size)
-        try:
-            buffer = []
-            for record in result.runs:
-                buffer.append(record)
-                if len(buffer) >= chunk_size:
+        with obs.tracer().span("store.put", key=key,
+                               runs=len(result.runs)):
+            writer = self.open_writer(key, chunk_size)
+            try:
+                buffer = []
+                for record in result.runs:
+                    buffer.append(record)
+                    if len(buffer) >= chunk_size:
+                        writer.write_chunk(buffer)
+                        buffer = []
+                if buffer:
                     writer.write_chunk(buffer)
-                    buffer = []
-            if buffer:
-                writer.write_chunk(buffer)
-            aggregates = Aggregates.restore(
-                result.effect_counts(), result.vulnerable_runs(),
-                result.trace_sizes(), len(result.runs))
-            writer.commit(aggregates, pruned_runs=result.pruned_runs,
-                          vectorized=result.vectorized,
-                          wall_time=result.wall_time)
-        except BaseException:
-            writer.abort()
-            raise
+                aggregates = Aggregates.restore(
+                    result.effect_counts(), result.vulnerable_runs(),
+                    result.trace_sizes(), len(result.runs))
+                writer.commit(aggregates, pruned_runs=result.pruned_runs,
+                              vectorized=result.vectorized,
+                              wall_time=result.wall_time)
+            except BaseException:
+                writer.abort()
+                raise
 
     def provenance(self, key):
         """Provenance dict for *key* (``None`` when absent)."""

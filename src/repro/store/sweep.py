@@ -18,6 +18,7 @@ smoke grids in CI and tests can sweep tiny programs.
 import time
 from collections import namedtuple
 
+from repro import obs
 from repro.bec.analysis import run_bec
 from repro.fi.campaign import (plan_bec, plan_exhaustive,
                                plan_inject_on_read)
@@ -189,6 +190,11 @@ class SweepRunner:
                 return self.run_cell(cell, progress=progress)
             except Exception as exc:
                 if attempt >= self.max_retries:
+                    obs.logger().error(
+                        "sweep.cell_failed", kernel=cell.kernel,
+                        mode=cell.mode, harden=cell.harden,
+                        core=cell.core, attempts=attempt + 1,
+                        error=f"{type(exc).__name__}: {exc}")
                     if not self.continue_on_error:
                         raise
                     return CellOutcome(
@@ -207,24 +213,38 @@ class SweepRunner:
         the engine's :class:`repro.fi.sink.ProgressSink`, so cache hits
         and pruned runs report too)."""
         start = time.perf_counter()
+        registry = obs.metrics()
+        mark = registry.mark()
         cells = self.spec.cells()
         outcomes = []
-        for index, cell in enumerate(cells):
-            cell_progress = None
-            if run_progress is not None:
-                def cell_progress(done, total, _cell=cell):
-                    run_progress(_cell, done, total)
-            outcome = self._execute_cell(cell, progress=cell_progress)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(index + 1, len(cells), outcome)
+        with obs.tracer().span("sweep", spec=self.spec.name,
+                               cells=len(cells)):
+            for index, cell in enumerate(cells):
+                cell_progress = None
+                if run_progress is not None:
+                    def cell_progress(done, total, _cell=cell):
+                        run_progress(_cell, done, total)
+                with obs.tracer().span(
+                        "sweep.cell", kernel=cell.kernel,
+                        mode=cell.mode, harden=cell.harden,
+                        core=cell.core) as span:
+                    outcome = self._execute_cell(
+                        cell, progress=cell_progress)
+                    status = ("failed" if outcome.error is not None
+                              else "hit" if outcome.cached else "run")
+                    span.set("status", status)
+                registry.counter("sweep.cells", status=status).inc()
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(index + 1, len(cells), outcome)
         return SweepReport(
             spec_name=self.spec.name, store_path=self.store.path,
             outcomes=outcomes, hits=self.runner.hits,
             misses=self.runner.misses,
             simulator_runs=self.runner.simulator_runs,
             wall_time=time.perf_counter() - start,
-            store_stats=self.store.stats())
+            store_stats=self.store.stats(),
+            metrics=registry.totals(registry.delta_since(mark)))
 
 
 def run_sweep(spec, store, workers=None, force=False, progress=None,
@@ -241,7 +261,8 @@ class SweepReport:
     """Consolidated outcome of one sweep invocation."""
 
     def __init__(self, spec_name, store_path, outcomes, hits, misses,
-                 simulator_runs, wall_time, store_stats=None):
+                 simulator_runs, wall_time, store_stats=None,
+                 metrics=None):
         self.spec_name = spec_name
         self.store_path = store_path
         self.outcomes = outcomes
@@ -250,6 +271,10 @@ class SweepReport:
         self.simulator_runs = simulator_runs
         self.wall_time = wall_time
         self.store_stats = store_stats or {}
+        #: Flat metrics rollup of *this invocation* (a registry delta:
+        #: ``store.hits``, ``engine.recoveries``, ...); empty when the
+        #: report was built without the orchestrator.
+        self.metrics = metrics or {}
 
     @property
     def cells_total(self):
@@ -299,6 +324,7 @@ class SweepReport:
                 "wall_time": self.wall_time,
             },
             "store_stats": self.store_stats,
+            "metrics": self.metrics,
             "cells": [
                 {
                     "kernel": outcome.cell.kernel,
