@@ -16,8 +16,12 @@ Usage (``python -m repro <command> ...``)::
     memory   FILE.{mc,ir} [--execute]          memory-cell fault space
     fuzz     [--count N] [--seed N]            random-program soundness
     sweep    SPEC.{toml,json} --store DB       cached campaign grid
-    store    verify DB                         audit a result store
+    store    verify DB [--clear-quarantine]    audit a result store
     obs      summarize TRACE.json              trace self-time breakdown
+    dist     enqueue SPEC --queue Q            queue a sweep's cells
+    dist     work --queue Q --store DB         drain the queue (worker)
+    dist     status --queue Q                  progress from queue state
+    dist     reap --queue Q                    expire stale leases
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
@@ -30,6 +34,13 @@ sharded across processes, and interrupted sweeps resume.  ``campaign
 ``campaign``, ``sample`` and ``harden`` accept the same ``-O{0,1,2}`` /
 ``--no-opt`` optimization knobs as ``compile``, so analyses and
 campaigns can run at a matching optimization level.
+
+``dist`` runs the same grids across processes and hosts: ``enqueue``
+fills a lease-based work queue (one SQLite file), any number of
+``work`` processes drain it — each cell executed through the same
+cached engine, returned as an HMAC-signed result envelope, and
+committed only after verification — and ``status``/``reap`` report and
+groom the queue from its state alone.
 
 ``campaign``, ``sample`` and ``sweep`` also accept the telemetry
 flags: ``--trace FILE.json`` records the invocation's spans and writes
@@ -444,7 +455,8 @@ def cmd_sweep(options):
                                force=options.force, progress=progress,
                                run_progress=run_progress,
                                max_retries=options.max_retries,
-                               continue_on_error=True)
+                               continue_on_error=True,
+                               max_wall_seconds=options.cell_timeout)
         except (KeyError, OSError, ValueError, RuntimeError,
                 ReproError) as error:
             # Unknown registry kernel, unreadable/uncompilable kernel
@@ -493,7 +505,11 @@ def cmd_store_verify(options):
     from repro.store import ResultStore
 
     with ResultStore(options.db) as store:
-        report = store.verify()
+        report = store.verify(
+            clear_quarantine=options.clear_quarantine)
+    if options.clear_quarantine and report["cleared"]:
+        print(f"cleared {report['cleared']} quarantine rows before "
+              f"the audit")
     print(f"store {options.db}: {report['results']} results, "
           f"{report['chunks']} chunks audited — "
           f"{'OK' if report['ok'] else 'CORRUPT'}")
@@ -514,6 +530,98 @@ def cmd_store_verify(options):
             handle.write("\n")
         print(f"wrote {options.json}")
     return 0 if report["ok"] else 1
+
+
+def cmd_dist_enqueue(options):
+    from repro.dist.coordinator import enqueue_spec
+    from repro.dist.queue import WorkQueue
+    from repro.store import load_spec
+
+    try:
+        spec = load_spec(options.spec)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load sweep spec: {error}")
+    with WorkQueue(options.queue) as queue:
+        summary = enqueue_spec(queue, spec,
+                               max_attempts=options.max_attempts)
+    print(f"queue {options.queue}: spec {summary['spec']} "
+          f"({summary['digest'][:12]}): {summary['enqueued']} cells "
+          f"enqueued, {summary['already_queued']} already queued")
+    return 0
+
+
+def cmd_dist_work(options):
+    from repro.dist.queue import DEFAULT_LEASE_SECONDS, WorkQueue
+    from repro.dist.worker import (DEFAULT_MAX_IDLE_SECONDS, DistWorker,
+                                   policy_from_specs)
+    from repro.store import ResultStore
+
+    try:
+        policy = policy_from_specs(options.chaos)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if options.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    lease_seconds = options.lease_seconds \
+        if options.lease_seconds is not None else DEFAULT_LEASE_SECONDS
+    max_idle = options.max_idle \
+        if options.max_idle is not None else DEFAULT_MAX_IDLE_SECONDS
+    with WorkQueue(options.queue, chaos=policy) as queue, \
+            ResultStore(options.store) as store:
+        worker = DistWorker(
+            queue, store, worker_id=options.worker_id,
+            lease_seconds=lease_seconds,
+            secret=options.secret, engine_workers=options.workers,
+            max_cells=options.max_cells,
+            max_idle_seconds=max_idle, chaos=policy,
+            cell_timeout=options.cell_timeout)
+        stats = worker.run()
+    print(f"worker {worker.worker_id}: {stats['done']} cells done, "
+          f"{stats['superseded']} superseded, {stats['failed']} failed, "
+          f"{stats['rejected']} envelopes rejected")
+    return 0
+
+
+def cmd_dist_status(options):
+    from repro.dist.queue import WorkQueue
+
+    with WorkQueue(options.queue) as queue:
+        status = queue.status()
+        quarantine = queue.quarantined()
+    states = status["states"]
+    print(f"queue {options.queue}: {status['cells']} cells — "
+          f"{states['done']} done, {states['pending']} pending, "
+          f"{states['leased']} leased ({status['stale_leases']} stale), "
+          f"{states['poisoned']} poisoned")
+    for worker, done in status["workers"].items():
+        print(f"  {worker}: {done} cells")
+    if quarantine:
+        print(f"  quarantine events: {len(quarantine)}")
+        for identity, worker, reason in quarantine:
+            print(f"    {identity[:12]} ({worker or '-'}): {reason}",
+                  file=sys.stderr)
+    if options.json:
+        import json
+
+        status["quarantine"] = [
+            {"cell_id": identity, "worker": worker, "reason": reason}
+            for identity, worker, reason in quarantine]
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(status, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {options.json}")
+    healthy = status["drained"] and not states["poisoned"]
+    return 0 if healthy else 1
+
+
+def cmd_dist_reap(options):
+    from repro.dist.queue import WorkQueue
+
+    with WorkQueue(options.queue) as queue:
+        report = queue.reap()
+    print(f"queue {options.queue}: {report['expired']} leases expired "
+          f"back to pending, {report['poisoned']} cells poisoned")
+    return 0
 
 
 def cmd_dot(options):
@@ -773,6 +881,13 @@ def build_parser():
                           "engine.max_retries, else 0); any cell that "
                           "ultimately fails makes the sweep exit "
                           "nonzero after finishing the rest")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock deadline: a hung cell "
+                          "fails (and retries / reports like any other "
+                          "cell failure) instead of blocking the sweep "
+                          "(default: the spec's engine.max_wall_seconds"
+                          ", else none)")
     add_obs_arguments(sub)
 
     store_cmd = commands.add_parser(
@@ -788,6 +903,90 @@ def build_parser():
     sub.add_argument("db", help="result store database file")
     sub.add_argument("--json", metavar="PATH",
                      help="write the audit report as JSON")
+    sub.add_argument("--clear-quarantine", action="store_true",
+                     help="drop quarantined rows before the audit (the "
+                          "post-repair workflow: damage that persists "
+                          "is immediately re-quarantined)")
+
+    dist_cmd = commands.add_parser(
+        "dist", help="distributed sweep execution (lease queue)")
+    dist_sub = dist_cmd.add_subparsers(dest="dist_command",
+                                       required=True)
+
+    def add_queue_argument(sub):
+        sub.add_argument("--queue", metavar="DB",
+                         default=".repro-queue.sqlite",
+                         help="work queue database "
+                              "(default: .repro-queue.sqlite)")
+
+    sub = dist_sub.add_parser(
+        "enqueue", help="expand a sweep spec into queued cells")
+    sub.set_defaults(handler=cmd_dist_enqueue)
+    sub.add_argument("spec", help="grid spec (.toml / .json)")
+    add_queue_argument(sub)
+    sub.add_argument("--max-attempts", type=int, default=None,
+                     metavar="N",
+                     help="claims a cell may consume before it is "
+                          "poisoned (default 3)")
+
+    sub = dist_sub.add_parser(
+        "work",
+        help="drain the queue: lease cells, execute, commit signed "
+             "result envelopes")
+    sub.set_defaults(handler=cmd_dist_work)
+    add_queue_argument(sub)
+    sub.add_argument("--store", metavar="DB",
+                     default=".repro-store.sqlite",
+                     help="content-addressed result store "
+                          "(default: .repro-store.sqlite)")
+    sub.add_argument("--worker-id", default=None,
+                     help="worker identity in leases and envelopes "
+                          "(default: host-pid)")
+    sub.add_argument("--lease-seconds", type=float, default=None,
+                     metavar="S",
+                     help="lease duration before an unrenewed cell is "
+                          "reclaimable (default 60; the heartbeat "
+                          "renews at a third of this)")
+    sub.add_argument("--max-cells", type=int, default=None, metavar="N",
+                     help="stop after claiming N cells")
+    sub.add_argument("--max-idle", type=float, default=None,
+                     metavar="S",
+                     help="give up after S seconds without a claim "
+                          "(default 120; a drained queue exits "
+                          "immediately)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="engine worker processes per cell")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock deadline (default: the "
+                          "spec's engine.max_wall_seconds)")
+    sub.add_argument("--secret", default=None,
+                     help="envelope signing secret (default: "
+                          "$REPRO_DIST_SECRET, else a dev constant)")
+    sub.add_argument("--chaos", action="append", default=[],
+                     metavar="FAULT=N",
+                     help="inject a host-level fault: kill_cell=N, "
+                          "kill_claim=N, expire_lease=N, "
+                          "forge_envelope=N, corrupt_envelope=N "
+                          "(N = this worker's N-th claimed cell), "
+                          "skew_clock=SECONDS (repeatable)")
+    add_obs_arguments(sub)
+
+    sub = dist_sub.add_parser(
+        "status",
+        help="progress from queue state alone (exit 0 only when "
+             "drained with nothing poisoned)")
+    sub.set_defaults(handler=cmd_dist_status)
+    add_queue_argument(sub)
+    sub.add_argument("--json", metavar="PATH",
+                     help="write the status report as JSON")
+
+    sub = dist_sub.add_parser(
+        "reap",
+        help="expire stale leases (pending again, or poisoned when "
+             "out of attempts)")
+    sub.set_defaults(handler=cmd_dist_reap)
+    add_queue_argument(sub)
 
     obs_cmd = commands.add_parser(
         "obs", help="telemetry utilities")

@@ -26,6 +26,39 @@ the policy at well-defined moments:
     ``sqlite3.OperationalError("database is locked")`` here proves the
     backoff-and-retry path without needing a second real writer.
 
+``dist.cell``
+    Fired by a distributed worker (:mod:`repro.dist.worker`) around
+    each leased cell (context: ``ordinal``, the 0-based count of cells
+    this worker has claimed, and ``phase`` — ``"claim"`` right after
+    the lease is granted, ``"run"`` right before the result is
+    committed).  The ``kill`` action models a host vanishing mid-cell;
+    the lease must expire and another worker must reclaim the cell.
+
+``dist.expire_lease``
+    Fired once per claimed cell (context: ``ordinal``).  A firing rule
+    makes the worker *forfeit* its lease — stop heartbeating and force
+    the deadline into the past — so another worker reclaims the cell
+    while this one keeps computing (the stale-token / superseded-commit
+    path).
+
+``dist.forge_envelope``
+    Fired as the worker seals its result envelope (context:
+    ``ordinal``).  A firing rule signs the envelope with the wrong
+    secret; the coordinator must reject it before any store commit and
+    record a quarantine event.
+
+``dist.corrupt_envelope``
+    Fired alongside sealing (context: ``ordinal``).  A firing rule
+    flips a byte of the captured chunk stream *after* sealing, so the
+    signature verifies but the payload digest does not — the
+    tampered-content (as opposed to tampered-identity) rejection path.
+
+``dist.skew_clock``
+    Consulted via :meth:`ChaosPolicy.fire_value` by the work queue's
+    clock (context: none).  The rule's ``payload`` (seconds) is added
+    to the queue's notion of *now*, modelling a worker whose clock
+    runs fast — its leases look expired to everyone else.
+
 Rules are exact-match on their context and fire a bounded number of
 ``times`` (default once), so every schedule is reproducible: the same
 policy against the same plan injects the same faults.  Policies are
@@ -51,15 +84,18 @@ class ChaosRule:
     """One armed injection: fires at *point* when every key of *match*
     equals the fired context, at most *times* times."""
 
-    __slots__ = ("point", "match", "times", "fired", "exc", "action")
+    __slots__ = ("point", "match", "times", "fired", "exc", "action",
+                 "payload")
 
-    def __init__(self, point, match=None, times=1, exc=None, action=None):
+    def __init__(self, point, match=None, times=1, exc=None, action=None,
+                 payload=None):
         self.point = point
         self.match = dict(match or {})
         self.times = times
         self.fired = 0
         self.exc = exc            # exception instance/factory to raise
         self.action = action      # "kill" -> SIGKILL the current process
+        self.payload = payload    # value returned by fire_value()
 
     def matches(self, point, context):
         if point != self.point or self.fired >= self.times:
@@ -88,10 +124,12 @@ class ChaosPolicy:
 
     # -- generic -----------------------------------------------------------
 
-    def on(self, point, match=None, times=1, exc=None, action=None):
+    def on(self, point, match=None, times=1, exc=None, action=None,
+           payload=None):
         """Arm a raw rule; prefer the named constructors below."""
         self.rules.append(ChaosRule(point, match=match, times=times,
-                                    exc=exc, action=action))
+                                    exc=exc, action=action,
+                                    payload=payload))
         return self
 
     # -- named injections --------------------------------------------------
@@ -127,6 +165,38 @@ class ChaosPolicy:
         return self.on("store.commit", times=times,
                        exc=sqlite3.OperationalError("database is locked"))
 
+    # -- host-level (distributed) injections -------------------------------
+
+    def kill_dist_worker(self, ordinal, phase="run"):
+        """SIGKILL a distributed worker around its *ordinal*-th claimed
+        cell: ``phase="claim"`` dies holding a fresh untouched lease,
+        ``phase="run"`` (default) dies after computing but before
+        committing — the worst case the reclaim path must absorb."""
+        return self.on("dist.cell",
+                       match={"ordinal": ordinal, "phase": phase},
+                       action="kill")
+
+    def expire_lease(self, ordinal=0):
+        """Make the worker forfeit the lease on its *ordinal*-th cell —
+        heartbeats stop and the deadline is forced into the past — so
+        the cell is reclaimed while the original worker keeps going."""
+        return self.on("dist.expire_lease", match={"ordinal": ordinal})
+
+    def forge_envelope(self, ordinal=0):
+        """Sign the *ordinal*-th result envelope with the wrong secret;
+        the coordinator must reject it before any store commit."""
+        return self.on("dist.forge_envelope", match={"ordinal": ordinal})
+
+    def corrupt_envelope(self, ordinal=0):
+        """Flip a byte of the *ordinal*-th captured chunk stream after
+        sealing: the signature verifies, the payload digest does not."""
+        return self.on("dist.corrupt_envelope", match={"ordinal": ordinal})
+
+    def skew_clock(self, seconds):
+        """Skew the work queue's clock by *seconds* (positive = fast):
+        every lease comparison this process makes sees ``now + skew``."""
+        return self.on("dist.skew_clock", times=1 << 30, payload=seconds)
+
     # -- firing ------------------------------------------------------------
 
     @property
@@ -151,6 +221,18 @@ class ChaosPolicy:
                 raise rule.exc
             return True
         return False
+
+    def fire_value(self, point, default=None, **context):
+        """Like :meth:`fire`, but returns the matching rule's
+        ``payload`` (or *default* when no rule matches) instead of
+        True/False — for injection points that need a *value*, like
+        ``dist.skew_clock``.  Value rules never raise or kill."""
+        for rule in self.rules:
+            if not rule.matches(point, context):
+                continue
+            rule.fired += 1
+            return rule.payload
+        return default
 
 
 class ChaosSink:

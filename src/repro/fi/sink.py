@@ -99,6 +99,15 @@ class TeeSink(RunSink):
         for sink in self.sinks:
             sink.finish(summary)
 
+    def abort(self):
+        """Tear down every child that supports aborting (the engine
+        aborts the *outermost* sink on failure; without this delegation
+        a wrapped store writer would leak its open transaction)."""
+        for sink in self.sinks:
+            abort = getattr(sink, "abort", None)
+            if abort is not None:
+                abort()
+
 
 class AggregateSink(RunSink):
     """Incremental aggregates with zero per-run retention.

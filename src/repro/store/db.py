@@ -67,10 +67,31 @@ DEFAULT_CHUNK_SIZE = 2048
 #: Lock-contention absorption: seconds SQLite itself blocks on a busy
 #: database before raising, and how often the store then retries a
 #: failed commit (exponential backoff doubling from
-#: :data:`COMMIT_BACKOFF` seconds).
+#: :data:`COMMIT_BACKOFF` seconds).  The busy timeout is overridable
+#: per-store (``ResultStore(busy_timeout=...)``) or per-environment
+#: (:data:`TIMEOUT_ENV` seconds) — many-worker hosts want more than
+#: the single-sweep default.
 BUSY_TIMEOUT = 5.0
 COMMIT_RETRIES = 5
 COMMIT_BACKOFF = 0.05
+
+#: Environment variable overriding the default busy timeout (seconds).
+TIMEOUT_ENV = "REPRO_STORE_TIMEOUT"
+
+
+def default_busy_timeout():
+    """The busy timeout stores open with when the constructor is not
+    told otherwise: ``$REPRO_STORE_TIMEOUT`` seconds when set and
+    parseable, else :data:`BUSY_TIMEOUT`."""
+    raw = os.environ.get(TIMEOUT_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring unparseable {TIMEOUT_ENV}={raw!r}",
+                RuntimeWarning, stacklevel=2)
+    return BUSY_TIMEOUT
 
 #: blake2b digest width for per-chunk payload digests (hex doubles it).
 _DIGEST_SIZE = 16
@@ -347,6 +368,20 @@ class ChunkWriter:
         self._compressed += len(blob)
         obs.metrics().counter("store.bytes_in").inc(len(blob))
 
+    def write_encoded(self, blob, n_records, raw_size):
+        """Archive one *already encoded* chunk blob (the distributed
+        commit path, which verified the bytes against the envelope's
+        digests and must archive them unchanged)."""
+        self._store._connection.execute(
+            "INSERT INTO campaign_chunks "
+            "(key, chunk_index, payload, digest) VALUES (?, ?, ?, ?)",
+            (self._key, self._n_chunks, blob, chunk_digest(blob)))
+        self._n_chunks += 1
+        self._n_runs += n_records
+        self._uncompressed += raw_size
+        self._compressed += len(blob)
+        obs.metrics().counter("store.bytes_in").inc(len(blob))
+
     def commit(self, aggregates, pruned_runs=0, vectorized=False,
                wall_time=0.0):
         """Write the meta row and commit the whole archive atomically.
@@ -390,14 +425,25 @@ class ResultStore:
     Opens in WAL mode with a *busy_timeout* so concurrent sweeps
     contend at the SQLite level instead of surfacing ``database is
     locked``; commits that still fail retry with exponential backoff.
-    *chaos* threads a :class:`repro.fi.chaos.ChaosPolicy` whose
-    ``store.commit`` rules fire once per commit attempt, so the retry
-    path is testable without a second real writer.
+    Contention knobs are configurable: *busy_timeout* defaults to
+    ``$REPRO_STORE_TIMEOUT`` seconds (else :data:`BUSY_TIMEOUT`), and
+    *commit_retries* / *commit_backoff* tune the retry loop for hosts
+    running many concurrent writers.  *chaos* threads a
+    :class:`repro.fi.chaos.ChaosPolicy` whose ``store.commit`` rules
+    fire once per commit attempt, so the retry path is testable
+    without a second real writer.
     """
 
-    def __init__(self, path, busy_timeout=BUSY_TIMEOUT, chaos=None):
+    def __init__(self, path, busy_timeout=None, chaos=None,
+                 commit_retries=COMMIT_RETRIES,
+                 commit_backoff=COMMIT_BACKOFF):
         self.path = path
         self.chaos = chaos
+        if busy_timeout is None:
+            busy_timeout = default_busy_timeout()
+        self.busy_timeout = busy_timeout
+        self.commit_retries = commit_retries
+        self.commit_backoff = commit_backoff
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._connection = sqlite3.connect(path, timeout=busy_timeout)
@@ -415,13 +461,17 @@ class ResultStore:
                 pass                     # column already present
         self._connection.commit()
 
-    def _commit(self, retries=COMMIT_RETRIES, backoff=COMMIT_BACKOFF):
+    def _commit(self, retries=None, backoff=None):
         """Commit, absorbing transient lock contention.
 
         Fires the ``store.commit`` chaos point once per attempt, then
         retries ``database is locked`` with exponential backoff; the
         exception propagates only once *retries* extra attempts are
         exhausted.  Returns the number of attempts that failed."""
+        if retries is None:
+            retries = self.commit_retries
+        if backoff is None:
+            backoff = self.commit_backoff
         for attempt in range(retries + 1):
             try:
                 if self.chaos is not None:
@@ -534,7 +584,7 @@ class ResultStore:
                 return False
         return True
 
-    def verify(self):
+    def verify(self, clear_quarantine=False):
         """Audit the entire store, row by row.
 
         Deep-checks every readable archive — meta payload decodes,
@@ -544,11 +594,17 @@ class ResultStore:
 
             {"results": .., "chunks": .., "ok": bool,
              "corrupt": [{"key", "chunk_index", "reason"}, ...],
-             "quarantined": ..}
+             "quarantined": .., "cleared": ..}
+
+        *clear_quarantine* drops stale quarantine rows first (the
+        post-repair workflow: delete or rewrite the damaged keys, then
+        ``verify(clear_quarantine=True)`` re-audits from scratch —
+        rows whose damage persists are immediately re-quarantined).
 
         Only one chunk is resident at a time, so auditing a large
         store stays O(chunk_size) in memory.
         """
+        cleared = self.clear_quarantine() if clear_quarantine else 0
         corrupt = []
 
         def flag(key, chunk_index, reason):
@@ -602,13 +658,22 @@ class ResultStore:
             "SELECT COUNT(*) FROM campaign_quarantine").fetchone()
         return {"results": n_results, "chunks": n_chunks,
                 "ok": not corrupt, "corrupt": corrupt,
-                "quarantined": quarantined}
+                "quarantined": quarantined, "cleared": cleared}
 
     def quarantined(self):
         """Every quarantined row as ``(key, chunk_index, reason)``."""
         return [tuple(row) for row in self._connection.execute(
             "SELECT key, chunk_index, reason FROM campaign_quarantine "
             "ORDER BY key, chunk_index")]
+
+    def clear_quarantine(self):
+        """Drop every quarantine row (post-repair); returns how many
+        were dropped.  Damage that still exists is re-quarantined the
+        next time the row is read or audited."""
+        cursor = self._connection.execute(
+            "DELETE FROM campaign_quarantine")
+        self._connection.commit()
+        return cursor.rowcount
 
     def open_writer(self, key, chunk_size=DEFAULT_CHUNK_SIZE):
         """A :class:`ChunkWriter` streaming a new archive under *key*

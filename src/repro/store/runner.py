@@ -17,7 +17,7 @@ than O(chunk_size) records.
 """
 
 from repro.fi.engine import CampaignEngine
-from repro.fi.sink import StoreWriterSink
+from repro.fi.sink import StoreWriterSink, TeeSink
 from repro.store.keys import campaign_key
 
 
@@ -52,11 +52,16 @@ class CachingRunner:
     def run(self, machine, plan, regs=None, golden=None, max_cycles=None,
             workers=1, checkpoint_interval=None, prune=None,
             batch_lanes=None, harden="none", budget=None, progress=None,
-            chunk_size=None):
+            chunk_size=None, sink=None, commit=True):
         """Cached :class:`repro.fi.campaign.CampaignResult` for the
         cell, executing (and archiving) it on a miss.
 
         ``result.cached`` tells the caller which path was taken.
+        *sink* joins the engine's fan-out on a miss (a distributed
+        worker's local chunk capture, say); ``commit=False`` drops the
+        store-writer sink entirely, so the miss executes without
+        touching the store — the caller owns archiving (the envelope
+        commit path).
         """
         plan = list(plan)
         key = self.key_for(machine, plan, regs=regs, prune=prune,
@@ -70,17 +75,26 @@ class CachingRunner:
                 return cached
         engine = CampaignEngine(machine, plan, regs=regs, golden=golden,
                                 max_cycles=max_cycles)
-        writer = StoreWriterSink(self.store, key)
+        sinks = []
+        if commit:
+            sinks.append(StoreWriterSink(self.store, key))
+        if sink is not None:
+            sinks.append(sink)
+        engine_sink = sinks[0] if len(sinks) == 1 else (
+            TeeSink(sinks) if sinks else None)
         try:
             result = engine.run(workers=workers,
                                 checkpoint_interval=checkpoint_interval,
                                 progress=progress,
                                 prune=None if prune in (None, "none")
                                 else prune,
-                                batch_lanes=batch_lanes, sink=writer,
+                                batch_lanes=batch_lanes, sink=engine_sink,
                                 chunk_size=chunk_size)
         except BaseException:
-            writer.abort()
+            if engine_sink is not None:
+                abort = getattr(engine_sink, "abort", None)
+                if abort is not None:
+                    abort()
             raise
         self.misses += 1
         self.simulator_runs += len(plan) - result.pruned_runs

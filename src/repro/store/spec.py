@@ -21,6 +21,7 @@ canonical shape::
     batch_lanes = 256                      # lockstep lanes (batched core)
     chunk_size = 2048                      # streamed records per chunk
     max_retries = 1                        # re-attempts per failing cell
+    max_wall_seconds = 300.0               # per-cell wall-clock deadline
 
 The same structure as JSON (``{"grid": {...}, "engine": {...}}``) is
 accepted everywhere TOML is, and is the only format on Python < 3.11
@@ -117,6 +118,7 @@ class SweepSpec:
         if unknown:
             raise SweepSpecError(f"unknown grid keys: {sorted(unknown)}")
         self.name = name
+        self.data = data      # decoded source (dist spec serialization)
         refs = [_kernel_ref(entry)
                 for entry in _listed(grid, "kernels", ())]
         self.kernel_refs = {ref.label: ref for ref in refs}
@@ -133,7 +135,8 @@ class SweepSpec:
         engine = data.get("engine", {})
         unknown = set(engine) - {"workers", "checkpoint_interval",
                                  "prune", "max_runs", "batch_lanes",
-                                 "chunk_size", "max_retries"}
+                                 "chunk_size", "max_retries",
+                                 "max_wall_seconds"}
         if unknown:
             raise SweepSpecError(
                 f"unknown engine keys: {sorted(unknown)}")
@@ -160,6 +163,16 @@ class SweepSpec:
         self.max_retries = int(engine.get("max_retries", 0))
         if self.max_retries < 0:
             raise SweepSpecError("engine.max_retries must be >= 0")
+        self.max_wall_seconds = engine.get("max_wall_seconds")
+        if self.max_wall_seconds is not None:
+            try:
+                self.max_wall_seconds = float(self.max_wall_seconds)
+            except (TypeError, ValueError):
+                raise SweepSpecError(
+                    "engine.max_wall_seconds must be a number")
+            if self.max_wall_seconds <= 0:
+                raise SweepSpecError(
+                    "engine.max_wall_seconds must be > 0")
 
     def cells(self):
         """The expanded grid, in deterministic spec order.

@@ -22,6 +22,7 @@ from repro import obs
 from repro.bec.analysis import run_bec
 from repro.fi.campaign import (plan_bec, plan_exhaustive,
                                plan_inject_on_read)
+from repro.fi.deadline import wall_clock_deadline
 from repro.fi.machine import Machine
 from repro.store.runner import CachingRunner
 
@@ -84,11 +85,16 @@ class SweepRunner:
     behavior); with ``continue_on_error=True`` the sweep records the
     failure as a :class:`CellOutcome` carrying ``error`` and keeps
     going, so one poisoned cell cannot sink a nightly grid.
+
+    Each cell additionally runs under a wall-clock deadline
+    (*max_wall_seconds*, default the spec's ``engine.max_wall_seconds``)
+    so a hung cell *fails* — into the same retry / continue-on-error
+    machinery — instead of blocking the sweep forever.
     """
 
     def __init__(self, spec, store, workers=None, force=False,
                  max_retries=None, retry_backoff=CELL_RETRY_BACKOFF,
-                 continue_on_error=False):
+                 continue_on_error=False, max_wall_seconds=None):
         self.spec = spec
         self.store = store
         self.workers = spec.workers if workers is None else workers
@@ -96,6 +102,8 @@ class SweepRunner:
             else max_retries
         self.retry_backoff = retry_backoff
         self.continue_on_error = continue_on_error
+        self.max_wall_seconds = getattr(spec, "max_wall_seconds", None) \
+            if max_wall_seconds is None else max_wall_seconds
         self.runner = CachingRunner(store, force=force)
         self._kernels = {}    # name -> (function, memory_image, regs)
         self._variants = {}   # (name, harden, budget) -> variant dict
@@ -149,12 +157,21 @@ class SweepRunner:
             self._plans[key] = plan
         return self._plans[key]
 
-    def run_cell(self, cell, progress=None):
+    def cell_setup(self, cell):
+        """Everything a cell needs before execution: the (possibly
+        hardened) machine, the fault plan, and the variant dict.  The
+        shared entry point for local execution (:meth:`run_cell`) and
+        distributed workers (:mod:`repro.dist.worker`), so both paths
+        execute byte-identical campaigns."""
         variant = self._variant(cell.kernel, cell.harden, cell.budget)
         plan = self._plan(cell, variant)
         machine = Machine(variant["function"],
                           memory_image=variant["memory_image"],
                           core=cell.core)
+        return machine, plan, variant
+
+    def run_cell(self, cell, progress=None):
+        machine, plan, variant = self.cell_setup(cell)
         result = self.runner.run(
             machine, plan, regs=variant["regs"],
             golden=variant["golden"], workers=self.workers,
@@ -187,7 +204,11 @@ class SweepRunner:
         attempt = 0
         while True:
             try:
-                return self.run_cell(cell, progress=progress)
+                with wall_clock_deadline(
+                        self.max_wall_seconds,
+                        what=f"cell {cell.kernel}/{cell.mode}/"
+                             f"{cell.harden}/{cell.core}"):
+                    return self.run_cell(cell, progress=progress)
             except Exception as exc:
                 if attempt >= self.max_retries:
                     obs.logger().error(
@@ -249,11 +270,12 @@ class SweepRunner:
 
 def run_sweep(spec, store, workers=None, force=False, progress=None,
               run_progress=None, max_retries=None,
-              continue_on_error=False):
+              continue_on_error=False, max_wall_seconds=None):
     """Expand *spec*, execute/skip every cell, return the report."""
     return SweepRunner(spec, store, workers=workers, force=force,
                        max_retries=max_retries,
-                       continue_on_error=continue_on_error).run(
+                       continue_on_error=continue_on_error,
+                       max_wall_seconds=max_wall_seconds).run(
                            progress=progress, run_progress=run_progress)
 
 

@@ -1,0 +1,1 @@
+"""Tests for distributed sweep execution (repro.dist)."""

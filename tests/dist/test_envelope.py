@@ -1,0 +1,93 @@
+"""Tests for signed result envelopes (repro.dist.envelope)."""
+
+import pytest
+
+from repro.dist.envelope import (EnvelopeError, ResultEnvelope,
+                                 payload_digest, resolve_secret)
+
+
+def make_envelope(**overrides):
+    fields = {
+        "cell_id": "cell-1", "result_key": "key-1", "worker": "w0",
+        "lease_token": "tok-1",
+        "payload_digest": payload_digest(["d0", "d1"], {"n_chunks": 2}),
+        "n_runs": 100, "n_chunks": 2,
+        "meta": {"n_chunks": 2}, "created_at": "2026-01-01T00:00:00",
+    }
+    fields.update(overrides)
+    return ResultEnvelope(**fields)
+
+
+class TestSealVerify:
+    def test_roundtrip(self):
+        envelope = make_envelope().seal("secret-a")
+        assert envelope.verify("secret-a")
+
+    def test_wrong_secret_fails(self):
+        envelope = make_envelope().seal("secret-a")
+        assert not envelope.verify("secret-b")
+
+    def test_unsealed_never_verifies(self):
+        assert not make_envelope().verify("secret-a")
+
+    @pytest.mark.parametrize("field,value", [
+        ("cell_id", "cell-2"),
+        ("result_key", "key-2"),
+        ("worker", "mallory"),
+        ("lease_token", "tok-2"),
+        ("payload_digest", "0" * 32),
+        ("n_runs", 999),
+        ("n_chunks", 3),
+        ("cached", True),
+        ("meta", {"n_chunks": 3}),
+        ("created_at", "2027-01-01T00:00:00"),
+    ])
+    def test_any_tampered_field_fails(self, field, value):
+        envelope = make_envelope().seal("secret-a")
+        setattr(envelope, field, value)
+        assert not envelope.verify("secret-a")
+
+    def test_default_secret_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIST_SECRET", raising=False)
+        envelope = make_envelope().seal()
+        assert envelope.verify()
+        assert not envelope.verify("something-else")
+
+    def test_env_secret_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_SECRET", "from-env")
+        envelope = make_envelope().seal()
+        assert envelope.verify("from-env")
+        assert resolve_secret() == b"from-env"
+
+
+class TestWireFormat:
+    def test_json_roundtrip(self):
+        envelope = make_envelope().seal("secret-a")
+        decoded = ResultEnvelope.from_json(envelope.to_json())
+        assert decoded.verify("secret-a")
+        assert decoded.cell_id == envelope.cell_id
+        assert decoded.meta == envelope.meta
+        assert decoded.signature == envelope.signature
+
+    @pytest.mark.parametrize("text", [
+        "not json", "[]", "{}", '{"cell_id": "x"}',
+    ])
+    def test_malformed_json_raises_envelope_error(self, text):
+        with pytest.raises(EnvelopeError):
+            ResultEnvelope.from_json(text)
+
+
+class TestPayloadDigest:
+    def test_binds_chunk_order(self):
+        meta = {"effects": {"sdc": 1}}
+        assert payload_digest(["a", "b"], meta) \
+            != payload_digest(["b", "a"], meta)
+
+    def test_binds_meta(self):
+        assert payload_digest(["a"], {"effects": {"sdc": 1}}) \
+            != payload_digest(["a"], {"effects": {"sdc": 2}})
+
+    def test_deterministic(self):
+        meta = {"effects": {"sdc": 1}, "vulnerable": 3}
+        assert payload_digest(["a", "b"], meta) \
+            == payload_digest(["a", "b"], dict(reversed(meta.items())))

@@ -63,6 +63,29 @@ class TestChaosPolicy:
         sink.finish({})
         assert policy.fired == 1
 
+    def test_fire_value_returns_the_rule_payload(self):
+        policy = ChaosPolicy().skew_clock(90.0)
+        assert policy.fire_value("dist.skew_clock") == 90.0
+        assert policy.fire_value("other.point", default=0.0) == 0.0
+        assert policy.fire_value("other.point") is None
+        assert policy.fired >= 1
+
+    def test_dist_fault_points_match_their_ordinals(self):
+        policy = (ChaosPolicy().expire_lease(1)
+                  .forge_envelope(0).corrupt_envelope(2))
+        assert not policy.fire("dist.expire_lease", ordinal=0)
+        assert policy.fire("dist.expire_lease", ordinal=1)
+        assert policy.fire("dist.forge_envelope", ordinal=0)
+        assert policy.fire("dist.corrupt_envelope", ordinal=2)
+        assert policy.fired == 3
+
+    def test_kill_dist_worker_matches_phase(self):
+        policy = ChaosPolicy().kill_dist_worker(0, phase="claim")
+        rule = policy.rules[-1]
+        assert rule.point == "dist.cell"
+        assert rule.match == {"ordinal": 0, "phase": "claim"}
+        assert rule.action == "kill"
+
 
 @pytest.fixture(scope="module")
 def baseline(motivating_function, motivating_machine, motivating_golden):

@@ -1,0 +1,74 @@
+"""Tests for the wall-clock deadline primitive (repro.fi.deadline)."""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.fi.deadline import (CellTimeout, deadline_supported,
+                               wall_clock_deadline)
+
+
+class TestWallClockDeadline:
+    def test_fast_block_passes_untouched(self):
+        with wall_clock_deadline(5.0) as armed:
+            value = 1 + 1
+        assert value == 2
+        assert armed is deadline_supported()
+
+    def test_expired_block_raises_cell_timeout(self):
+        if not deadline_supported():
+            pytest.skip("no SIGALRM on this platform")
+        with pytest.raises(CellTimeout, match="wall-clock deadline"):
+            with wall_clock_deadline(0.05, what="test cell"):
+                time.sleep(5.0)
+
+    def test_timeout_names_the_guarded_thing(self):
+        if not deadline_supported():
+            pytest.skip("no SIGALRM on this platform")
+        with pytest.raises(CellTimeout, match="test cell"):
+            with wall_clock_deadline(0.05, what="test cell"):
+                time.sleep(5.0)
+
+    def test_zero_or_none_disables_the_guard(self):
+        for seconds in (None, 0, 0.0):
+            with wall_clock_deadline(seconds) as armed:
+                assert armed is False
+
+    def test_handler_and_timer_restored(self):
+        if not deadline_supported():
+            pytest.skip("no SIGALRM on this platform")
+        before = signal.getsignal(signal.SIGALRM)
+        with wall_clock_deadline(5.0):
+            pass
+        assert signal.getsignal(signal.SIGALRM) is before
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_restored_even_after_timeout(self):
+        if not deadline_supported():
+            pytest.skip("no SIGALRM on this platform")
+        before = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(CellTimeout):
+            with wall_clock_deadline(0.05):
+                time.sleep(5.0)
+        assert signal.getsignal(signal.SIGALRM) is before
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_degrades_to_noop_off_main_thread(self):
+        outcome = {}
+
+        def target():
+            with wall_clock_deadline(0.01) as armed:
+                time.sleep(0.05)
+                outcome["armed"] = armed
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert outcome["armed"] is False
+
+    def test_cell_timeout_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(CellTimeout, ReproError)

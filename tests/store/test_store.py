@@ -401,3 +401,68 @@ class TestConcurrentWriters:
             assert len(store) == 6       # 2 writers x 3 rotating keys
             report = store.verify()
             assert report["ok"]
+
+
+class TestStoreKnobs:
+    """Operator knobs: the busy-timeout override chain (constructor >
+    $REPRO_STORE_TIMEOUT > built-in default) and quarantine clearing."""
+
+    def test_env_timeout_honored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "12.5")
+        with ResultStore(str(tmp_path / "env.sqlite")) as store:
+            assert store.busy_timeout == 12.5
+            (timeout,) = store._connection.execute(
+                "PRAGMA busy_timeout").fetchone()
+            assert timeout == 12500
+
+    def test_constructor_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "12.5")
+        with ResultStore(str(tmp_path / "ctor.sqlite"),
+                         busy_timeout=2.0) as store:
+            assert store.busy_timeout == 2.0
+
+    def test_unparseable_env_warns_and_falls_back(self, tmp_path,
+                                                  monkeypatch):
+        from repro.store.db import BUSY_TIMEOUT
+
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "a while")
+        with pytest.warns(RuntimeWarning, match="REPRO_STORE_TIMEOUT"):
+            store = ResultStore(str(tmp_path / "bad.sqlite"))
+        with store:
+            assert store.busy_timeout == BUSY_TIMEOUT
+
+    def test_clear_quarantine_workflow(self, store, machine, plan,
+                                       golden):
+        """The post-repair loop: corruption quarantines a key; once the
+        damaged rows are repaired (here: deleted), ``verify
+        --clear-quarantine`` gives the store a clean bill instead of
+        reporting stale evidence forever."""
+        from repro.fi.chaos import corrupt_chunk
+
+        runner = CachingRunner(store)
+        runner.run(machine, plan, golden=golden, chunk_size=7)
+        key = runner.key_for(machine, plan)
+        corrupt_chunk(store, key, chunk_index=1)
+        with pytest.warns(RuntimeWarning):
+            report = store.verify()
+        assert not report["ok"]
+        assert report["quarantined"] == 1
+
+        # "Repair" by dropping the damaged key's rows entirely.
+        store._connection.execute(
+            "DELETE FROM campaign_chunks WHERE key = ?", (key,))
+        store._connection.execute(
+            "DELETE FROM campaign_results WHERE key = ?", (key,))
+        store._connection.commit()
+
+        report = store.verify(clear_quarantine=True)
+        assert report["ok"]
+        assert report["cleared"] == 1
+        assert report["quarantined"] == 0
+        assert store.quarantined() == []
+
+    def test_clear_quarantine_noop_on_clean_store(self, store):
+        assert store.clear_quarantine() == 0
+        report = store.verify(clear_quarantine=True)
+        assert report["ok"]
+        assert report["cleared"] == 0

@@ -331,3 +331,51 @@ class TestSweepResilience:
         again = run_sweep(spec, store, continue_on_error=True)
         assert again.cells_failed == 1
         assert again.cells_cached == 1
+
+
+class TestCellDeadline:
+    """Per-cell wall-clock deadlines (engine.max_wall_seconds and the
+    --cell-timeout override)."""
+
+    def test_spec_parses_max_wall_seconds(self):
+        spec = parse_spec({"grid": {"kernels": ["bitcount"]},
+                           "engine": {"max_wall_seconds": 300}})
+        assert spec.max_wall_seconds == 300.0
+        assert parse_spec(
+            {"grid": {"kernels": ["bitcount"]}}).max_wall_seconds \
+            is None
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon"])
+    def test_invalid_max_wall_seconds_rejected(self, bad):
+        with pytest.raises(SweepSpecError):
+            parse_spec({"grid": {"kernels": ["bitcount"]},
+                        "engine": {"max_wall_seconds": bad}})
+
+    def test_runner_override_beats_the_spec(self, store):
+        from repro.store.sweep import SweepRunner
+
+        spec = parse_spec({"grid": {"kernels": ["bitcount"]},
+                           "engine": {"max_wall_seconds": 300}})
+        assert SweepRunner(spec, store).max_wall_seconds == 300.0
+        assert SweepRunner(
+            spec, store, max_wall_seconds=1.5).max_wall_seconds == 1.5
+
+    def test_hanging_cell_times_out_as_a_cell_failure(
+            self, tiny_ir, store, monkeypatch):
+        import time as time_module
+
+        from repro.fi.deadline import deadline_supported
+        from repro.store.sweep import SweepRunner
+
+        if not deadline_supported():
+            pytest.skip("no SIGALRM on this platform")
+
+        def hang(self, cell, progress=None):
+            time_module.sleep(30.0)
+
+        monkeypatch.setattr(SweepRunner, "run_cell", hang)
+        spec = spec_for([tiny_ir], max_runs=10)
+        report = run_sweep(spec, store, continue_on_error=True,
+                           max_wall_seconds=0.2)
+        assert report.cells_failed == 1
+        assert "CellTimeout" in report.outcomes[0].error

@@ -505,6 +505,13 @@ class TestSweep:
                      "--max-retries", "2"]) == 0
         assert "2 cells (2 executed" in capsys.readouterr().out
 
+    def test_cell_timeout_flag(self, spec_file, tmp_path, capsys):
+        # A generous deadline never fires; the sweep runs normally.
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--cell-timeout", "300"]) == 0
+        assert "2 cells (2 executed" in capsys.readouterr().out
+
 
 class TestStoreVerify:
     def _build_store(self, ir_file, tmp_path):
@@ -552,6 +559,39 @@ class TestStoreVerify:
         # ...and the rewrite healed the archive.
         assert main(["store", "verify", store]) == 0
         assert "OK" in capsys.readouterr().out
+
+    def test_verify_clear_quarantine_roundtrip(self, ir_file,
+                                               tmp_path, capsys):
+        """--clear-quarantine drops stale quarantine evidence after a
+        repair; persisting damage is immediately re-quarantined."""
+        from repro.fi.chaos import corrupt_chunk
+        from repro.store import ResultStore
+
+        _, store = self._build_store(ir_file, tmp_path)
+        capsys.readouterr()
+        with ResultStore(store) as opened:
+            key = opened.keys()[0]
+            corrupt_chunk(opened, key, chunk_index=0)
+        with pytest.warns(RuntimeWarning):
+            assert main(["store", "verify", store]) == 1
+        capsys.readouterr()
+        # Still damaged: clearing alone does not forgive corruption.
+        with pytest.warns(RuntimeWarning):
+            assert main(["store", "verify", store,
+                         "--clear-quarantine"]) == 1
+        assert "cleared 1 quarantine rows" in capsys.readouterr().out
+        # Repair by dropping the damaged key, then clear for real.
+        with ResultStore(store) as opened:
+            opened._connection.execute(
+                "DELETE FROM campaign_chunks WHERE key = ?", (key,))
+            opened._connection.execute(
+                "DELETE FROM campaign_results WHERE key = ?", (key,))
+            opened._connection.commit()
+        assert main(["store", "verify", store,
+                     "--clear-quarantine"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 quarantine rows" in out
+        assert "OK" in out
 
     def test_verify_fresh_store_is_ok(self, tmp_path, capsys):
         # A nonexistent path is simply an empty store — verify reports
