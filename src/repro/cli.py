@@ -22,6 +22,10 @@ Usage (``python -m repro <command> ...``)::
     dist     work --queue Q --store DB         drain the queue (worker)
     dist     status --queue Q                  progress from queue state
     dist     reap --queue Q                    expire stale leases
+    serve    [--port P] [--api-key K ...]      campaign HTTP service
+    client   submit SPEC [--wait]              submit to a service
+    client   status JOB                        job progress over HTTP
+    client   fetch JOB [--json OUT]            decoded report over HTTP
 
 ``.mc`` files are compiled with the mini-C compiler (entry ``main``);
 ``.ir`` files are parsed as textual IR.  Program arguments land in the
@@ -51,7 +55,9 @@ stdout).
 """
 
 import argparse
+import os
 import sys
+import time
 
 from repro.bec.analysis import run_bec
 from repro.bec.intra import RuleSet
@@ -202,9 +208,17 @@ def cmd_campaign(options):
         slice_ = plan[:options.execute]
         progress = None
         if options.progress:
+            # \r-rewriting garbles piped/teed output; only a real
+            # terminal gets the live line, logs get line-per-update.
+            tty = sys.stderr.isatty()
+
             def progress(done, total):
-                print(f"\r  {done}/{total} runs", end="",
-                      file=sys.stderr, flush=True)
+                if tty:
+                    print(f"\r  {done}/{total} runs", end="",
+                          file=sys.stderr, flush=True)
+                else:
+                    print(f"  {done}/{total} runs",
+                          file=sys.stderr, flush=True)
         prune = None if options.prune == "none" else options.prune
         if options.store:
             from repro.store import CachingRunner, ResultStore
@@ -231,8 +245,8 @@ def cmd_campaign(options):
                                   progress=progress, prune=prune,
                                   batch_lanes=options.batch_lanes,
                                   chunk_size=options.chunk_size)
-        if options.progress:
-            print(file=sys.stderr)
+        if options.progress and sys.stderr.isatty():
+            print(file=sys.stderr)    # terminate the rewritten line
         core_label = options.core
         if options.core == "batched" and not result.vectorized:
             core_label = "batched (scalar fallback: NumPy unavailable " \
@@ -413,10 +427,16 @@ def cmd_sweep(options):
     progress = None
     run_progress = None
     if options.progress:
+        # \r overwriting assumes a cursor to move; when stderr is a
+        # pipe or file (CI logs, `2>sweep.log`), the control bytes
+        # land verbatim and every update concatenates into one
+        # garbled mega-line.  Detect and emit one line per update
+        # instead.
+        tty = sys.stderr.isatty()
         active = {"width": 0}    # live-line state for \r overwriting
 
         def _clear_line():
-            if active["width"]:
+            if tty and active["width"]:
                 print("\r" + " " * active["width"] + "\r", end="",
                       file=sys.stderr, flush=True)
                 active["width"] = 0
@@ -429,6 +449,9 @@ def cmd_sweep(options):
             line = (f"  ... {cell.kernel} mode={cell.mode} "
                     f"harden={cell.harden}{budget} core={cell.core}: "
                     f"{done}/{total} runs")
+            if not tty:
+                print(line, file=sys.stderr, flush=True)
+                return
             padding = " " * max(0, active["width"] - len(line))
             print("\r" + line + padding, end="", file=sys.stderr,
                   flush=True)
@@ -583,12 +606,13 @@ def cmd_dist_work(options):
 
 
 def cmd_dist_status(options):
+    from repro.dist.coordinator import status_payload
     from repro.dist.queue import WorkQueue
 
     with WorkQueue(options.queue) as queue:
-        status = queue.status()
-        quarantine = queue.quarantined()
+        status = status_payload(queue)
     states = status["states"]
+    quarantine = status["quarantine"]
     print(f"queue {options.queue}: {status['cells']} cells — "
           f"{states['done']} done, {states['pending']} pending, "
           f"{states['leased']} leased ({status['stale_leases']} stale), "
@@ -597,15 +621,13 @@ def cmd_dist_status(options):
         print(f"  {worker}: {done} cells")
     if quarantine:
         print(f"  quarantine events: {len(quarantine)}")
-        for identity, worker, reason in quarantine:
-            print(f"    {identity[:12]} ({worker or '-'}): {reason}",
+        for entry in quarantine:
+            print(f"    {entry['cell_id'][:12]} "
+                  f"({entry['worker'] or '-'}): {entry['reason']}",
                   file=sys.stderr)
     if options.json:
         import json
 
-        status["quarantine"] = [
-            {"cell_id": identity, "worker": worker, "reason": reason}
-            for identity, worker, reason in quarantine]
         with open(options.json, "w", encoding="utf-8") as handle:
             json.dump(status, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -622,6 +644,116 @@ def cmd_dist_reap(options):
     print(f"queue {options.queue}: {report['expired']} leases expired "
           f"back to pending, {report['poisoned']} cells poisoned")
     return 0
+
+
+def cmd_serve(options):
+    from repro.service import (AuthConfigError, CampaignService,
+                               ServiceConfig, keys_from_env)
+
+    keys = list(options.api_key or []) + keys_from_env()
+    try:
+        service = CampaignService(ServiceConfig(
+            options.queue, options.store, host=options.host,
+            port=options.port, api_keys=keys, dev=options.dev,
+            workers=options.workers,
+            engine_workers=options.engine_workers,
+            secret=options.secret,
+            cell_timeout=options.cell_timeout))
+    except AuthConfigError as error:
+        raise SystemExit(f"serve: {error}")
+    port = service.start()
+    mode = "DEV MODE — NO AUTH" if options.dev \
+        else f"{service.authenticator.n_keys} API key(s)"
+    print(f"repro serve: http://{options.host}:{port} "
+          f"({mode}, {options.workers} in-process workers, "
+          f"queue={options.queue}, store={options.store})",
+          flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0
+
+
+def _service_client(options):
+    from repro.service import ServiceClient
+
+    api_key = options.api_key or \
+        os.environ.get("REPRO_SERVICE_KEY") or None
+    return ServiceClient(options.url, api_key=api_key)
+
+
+def _client_dump(payload, options):
+    import json
+
+    if options.json:
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {options.json}")
+
+
+def cmd_client_submit(options):
+    from repro.service import ServiceClientError
+
+    client = _service_client(options)
+    try:
+        result = client.submit(options.spec, name=options.name,
+                               webhook_url=options.webhook)
+        job = result["job_id"]
+        print(f"job {job}: {result['enqueued']} cells enqueued, "
+              f"{result['already_queued']} already queued"
+              + (" (idempotent resubmission)"
+                 if result["idempotent"] else ""))
+        if options.wait:
+            status = client.wait(job, timeout=options.timeout,
+                                 poll=options.poll)
+            states = status["states"]
+            print(f"job {job} drained: {states['done']} done, "
+                  f"{states['poisoned']} poisoned")
+            _client_dump(status, options)
+            return 0 if not states["poisoned"] else 1
+        _client_dump(result, options)
+    except ServiceClientError as error:
+        raise SystemExit(f"client submit: {error}")
+    return 0
+
+
+def cmd_client_status(options):
+    from repro.service import ServiceClientError
+
+    client = _service_client(options)
+    try:
+        status = client.status(options.job)
+    except ServiceClientError as error:
+        raise SystemExit(f"client status: {error}")
+    states = status["states"]
+    print(f"job {options.job}: {status['cells']} cells — "
+          f"{states['done']} done, {states['pending']} pending, "
+          f"{states['leased']} leased, {states['poisoned']} poisoned"
+          + (" [drained]" if status["drained"] else ""))
+    _client_dump(status, options)
+    healthy = status["drained"] and not states["poisoned"]
+    return 0 if healthy else 1
+
+
+def cmd_client_fetch(options):
+    from repro.service import ServiceClientError
+
+    client = _service_client(options)
+    try:
+        report = client.report(options.job)
+    except ServiceClientError as error:
+        raise SystemExit(f"client fetch: {error}")
+    totals = report["totals"]
+    print(f"job {options.job}: {totals['cells']} cells "
+          f"({totals['cells_run']} executed, {totals['cells_cached']} "
+          f"from cache), {totals['simulator_runs']} simulator runs")
+    _client_dump(report, options)
+    return 0 if not totals["cells_failed"] else 1
 
 
 def cmd_dot(options):
@@ -987,6 +1119,95 @@ def build_parser():
              "out of attempts)")
     sub.set_defaults(handler=cmd_dist_reap)
     add_queue_argument(sub)
+
+    sub = commands.add_parser(
+        "serve",
+        help="campaign-as-a-service: HTTP API over store + queue + "
+             "engine (submissions enqueue cells; in-process or "
+             "external `repro dist work` workers drain them)")
+    sub.set_defaults(handler=cmd_serve)
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8035,
+                     help="bind port, 0 for ephemeral (default 8035)")
+    add_queue_argument(sub)
+    sub.add_argument("--store", metavar="DB",
+                     default=".repro-store.sqlite",
+                     help="content-addressed result store "
+                          "(default: .repro-store.sqlite)")
+    sub.add_argument("--api-key", action="append", default=[],
+                     metavar="KEY",
+                     help="accepted API key (repeatable; also "
+                          "$REPRO_SERVICE_KEYS, comma-separated). "
+                          "Required unless --dev")
+    sub.add_argument("--dev", action="store_true",
+                     help="disable authentication (local development "
+                          "only — there is no keyless production "
+                          "mode)")
+    sub.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="in-process drain workers (default 1; 0 "
+                          "relies on external `repro dist work` "
+                          "hosts)")
+    sub.add_argument("--engine-workers", type=int, default=1,
+                     metavar="N",
+                     help="engine worker processes per cell "
+                          "(default 1)")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock deadline (default: the "
+                          "spec's engine.max_wall_seconds)")
+    sub.add_argument("--secret", default=None,
+                     help="envelope/webhook signing secret (default: "
+                          "$REPRO_DIST_SECRET, else a dev constant)")
+
+    client_cmd = commands.add_parser(
+        "client", help="talk to a running campaign service")
+    client_sub = client_cmd.add_subparsers(dest="client_command",
+                                           required=True)
+
+    def add_client_arguments(sub):
+        sub.add_argument("--url", default="http://127.0.0.1:8035",
+                         help="service base URL "
+                              "(default http://127.0.0.1:8035)")
+        sub.add_argument("--api-key", default=None,
+                         help="API key (default: $REPRO_SERVICE_KEY)")
+        sub.add_argument("--json", metavar="PATH",
+                         help="write the response payload as JSON")
+
+    sub = client_sub.add_parser(
+        "submit", help="submit a sweep spec; the job id is the "
+                       "spec's content digest (resubmission is "
+                       "idempotent)")
+    sub.set_defaults(handler=cmd_client_submit)
+    sub.add_argument("spec", help="grid spec (.toml / .json)")
+    add_client_arguments(sub)
+    sub.add_argument("--name", default=None,
+                     help="job display name (default: spec filename)")
+    sub.add_argument("--webhook", metavar="URL", default=None,
+                     help="POST an HMAC-signed completion callback "
+                          "here when the job drains")
+    sub.add_argument("--wait", action="store_true",
+                     help="poll until the job drains (exit 1 if any "
+                          "cell poisoned)")
+    sub.add_argument("--timeout", type=float, default=600.0,
+                     metavar="S",
+                     help="--wait limit in seconds (default 600)")
+    sub.add_argument("--poll", type=float, default=0.5, metavar="S",
+                     help="--wait poll interval (default 0.5)")
+
+    sub = client_sub.add_parser(
+        "status", help="job progress (exit 0 only when drained with "
+                       "nothing poisoned)")
+    sub.set_defaults(handler=cmd_client_status)
+    sub.add_argument("job", help="job id (spec content digest)")
+    add_client_arguments(sub)
+
+    sub = client_sub.add_parser(
+        "fetch", help="decoded sweep report (per-cell aggregates "
+                      "from the service's store)")
+    sub.set_defaults(handler=cmd_client_fetch)
+    sub.add_argument("job", help="job id (spec content digest)")
+    add_client_arguments(sub)
 
     obs_cmd = commands.add_parser(
         "obs", help="telemetry utilities")

@@ -14,8 +14,10 @@ is valid for everyone, duplicate commits are idempotent overwrites of
 identical bytes, and at-least-once delivery is safe by construction.
 """
 
+from repro.dist.coordinator import status_payload
 from repro.dist.envelope import ResultEnvelope
 from repro.dist.queue import WorkQueue
 from repro.dist.worker import DistWorker
 
-__all__ = ["ResultEnvelope", "WorkQueue", "DistWorker"]
+__all__ = ["ResultEnvelope", "WorkQueue", "DistWorker",
+           "status_payload"]

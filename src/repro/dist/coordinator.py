@@ -116,8 +116,12 @@ def commit_envelope(store, queue, envelope, chunks, secret=None):
             writer.abort()
             raise
 
+    sim_runs = 0 if envelope.cached else max(
+        0, envelope.n_runs - int(envelope.meta.get("pruned_runs", 0)))
     outcome = queue.complete(envelope.lease_token,
-                             result_key=envelope.result_key)
+                             result_key=envelope.result_key,
+                             cached=envelope.cached,
+                             sim_runs=sim_runs)
     status = "committed" if outcome == "done" else outcome
     obs.logger().info("dist.cell_committed", cell=envelope.cell_id,
                       worker=envelope.worker, status=status,
@@ -130,6 +134,24 @@ def queue_status(queue):
     """Progress derived from queue state alone (``repro dist
     status``)."""
     return queue.status()
+
+
+def status_payload(queue, spec_digest=None):
+    """The one queue-status JSON shape every consumer serves.
+
+    ``repro dist status --json`` and the campaign service's
+    ``GET /v1/sweeps/{id}`` both emit exactly this dict (the service
+    scoped to one spec digest), so clients never see two competing
+    serializations of the same queue state.
+    """
+    status = queue.status(spec_digest)
+    scoped = None if spec_digest is None else {
+        row["cell_id"] for row in queue.cells(spec_digest)}
+    status["quarantine"] = [
+        {"cell_id": identity, "worker": worker, "reason": reason}
+        for identity, worker, reason in queue.quarantined()
+        if scoped is None or identity in scoped]
+    return status
 
 
 def reap(queue):

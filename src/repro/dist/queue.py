@@ -83,7 +83,9 @@ CREATE TABLE IF NOT EXISTS dist_queue (
     enqueued_at   REAL NOT NULL,
     completed_at  REAL,
     result_key    TEXT,
-    last_error    TEXT
+    last_error    TEXT,
+    cached        INTEGER NOT NULL DEFAULT 0,
+    sim_runs      INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS dist_queue_state
     ON dist_queue (state, lease_expires);
@@ -153,6 +155,27 @@ class WorkQueue:
         except sqlite3.OperationalError:
             pass
         self._connection.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self):
+        """Bring a pre-existing queue file up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves old tables alone, so the
+        completion-accounting columns (``cached``, ``sim_runs`` —
+        added for the campaign service's per-submission run counts)
+        are retrofitted with ``ALTER TABLE``; old rows read as
+        uncached / zero runs, which only over-counts on reports that
+        span the upgrade.
+        """
+        present = {row[1] for row in self._connection.execute(
+            "PRAGMA table_info(dist_queue)")}
+        for column, declaration in (
+                ("cached", "INTEGER NOT NULL DEFAULT 0"),
+                ("sim_runs", "INTEGER NOT NULL DEFAULT 0")):
+            if column not in present:
+                self._connection.execute(
+                    f"ALTER TABLE dist_queue "
+                    f"ADD COLUMN {column} {declaration}")
 
     def close(self):
         self._connection.close()
@@ -287,7 +310,8 @@ class WorkQueue:
 
     # -- completion --------------------------------------------------------
 
-    def complete(self, token, result_key=None):
+    def complete(self, token, result_key=None, cached=False,
+                 sim_runs=0):
         """Mark the leased cell done — token-guarded.
 
         Returns ``"done"`` when this call retired the cell, or
@@ -295,12 +319,20 @@ class WorkQueue:
         expired and was reclaimed, or the cell is already done): the
         caller's archive bytes still stand, the state transition just
         was not theirs to make.
+
+        *cached* and *sim_runs* record how the cell was satisfied —
+        served from the content-addressed store, or executed with this
+        many simulator runs — so per-submission accounting (the
+        campaign service's ``totals.simulator_runs``) can be derived
+        from queue state alone.
         """
         cursor = self._connection.execute(
             "UPDATE dist_queue SET state = 'done', completed_at = ?, "
-            "result_key = ?, lease_token = NULL, lease_expires = NULL "
+            "result_key = ?, cached = ?, sim_runs = ?, "
+            "lease_token = NULL, lease_expires = NULL "
             "WHERE lease_token = ? AND state = 'leased'",
-            (self.now(), result_key, token))
+            (self.now(), result_key, 1 if cached else 0,
+             int(sim_runs), token))
         if cursor.rowcount:
             obs.metrics().counter("dist.completions").inc()
             return "done"
@@ -387,53 +419,80 @@ class WorkQueue:
 
     # -- introspection -----------------------------------------------------
 
-    def counts(self):
-        """Row counts by state (absent states count 0)."""
+    def _scope(self, spec_digest):
+        """SQL fragment + params restricting a query to one spec's
+        cells (or to everything when *spec_digest* is ``None``)."""
+        if spec_digest is None:
+            return "", ()
+        return " AND spec_digest = ?", (spec_digest,)
+
+    def counts(self, spec_digest=None):
+        """Row counts by state (absent states count 0), optionally
+        scoped to one spec's cells."""
+        scope, params = self._scope(spec_digest)
         counts = {"pending": 0, "leased": 0, "done": 0, "poisoned": 0}
         for state, count in self._connection.execute(
-                "SELECT state, COUNT(*) FROM dist_queue GROUP BY state"):
+                f"SELECT state, COUNT(*) FROM dist_queue "
+                f"WHERE 1=1{scope} GROUP BY state", params):
             counts[state] = count
         return counts
 
-    def drained(self):
+    def drained(self, spec_digest=None):
         """True when no cell is pending or leased (every cell is done
         or poisoned — either way, no work remains)."""
+        scope, params = self._scope(spec_digest)
         row = self._connection.execute(
-            "SELECT COUNT(*) FROM dist_queue "
-            "WHERE state IN ('pending', 'leased')").fetchone()
+            f"SELECT COUNT(*) FROM dist_queue "
+            f"WHERE state IN ('pending', 'leased'){scope}",
+            params).fetchone()
         return row[0] == 0
 
-    def status(self):
-        """Progress report derived from queue state alone."""
-        counts = self.counts()
+    def status(self, spec_digest=None):
+        """Progress report derived from queue state alone, optionally
+        scoped to one spec — the single status shape `repro dist
+        status --json` and the campaign service both serve."""
+        counts = self.counts(spec_digest)
+        scope, params = self._scope(spec_digest)
         now = self.now()
         (stale,) = self._connection.execute(
-            "SELECT COUNT(*) FROM dist_queue "
-            "WHERE state = 'leased' AND lease_expires < ?",
-            (now,)).fetchone()
+            f"SELECT COUNT(*) FROM dist_queue "
+            f"WHERE state = 'leased' AND lease_expires < ?{scope}",
+            (now, *params)).fetchone()
         workers = {}
         for worker, done in self._connection.execute(
-                "SELECT worker, COUNT(*) FROM dist_queue "
-                "WHERE state = 'done' AND worker IS NOT NULL "
-                "GROUP BY worker ORDER BY worker"):
+                f"SELECT worker, COUNT(*) FROM dist_queue "
+                f"WHERE state = 'done' AND worker IS NOT NULL{scope} "
+                f"GROUP BY worker ORDER BY worker", params):
             workers[worker] = done
-        (quarantine_events,) = self._connection.execute(
-            "SELECT COUNT(*) FROM dist_quarantine").fetchone()
+        if spec_digest is None:
+            (quarantine_events,) = self._connection.execute(
+                "SELECT COUNT(*) FROM dist_quarantine").fetchone()
+        else:
+            (quarantine_events,) = self._connection.execute(
+                "SELECT COUNT(*) FROM dist_quarantine WHERE cell_id IN "
+                "(SELECT cell_id FROM dist_queue WHERE spec_digest = ?)",
+                (spec_digest,)).fetchone()
         total = sum(counts.values())
         return {"cells": total, "states": counts,
-                "stale_leases": stale, "drained": self.drained(),
+                "stale_leases": stale,
+                "drained": self.drained(spec_digest),
                 "workers": workers,
                 "quarantine_events": quarantine_events}
 
-    def cells(self):
-        """Every queue row, decoded, for tests and debugging."""
+    def cells(self, spec_digest=None):
+        """Every queue row, decoded — tests, debugging, and the
+        service's per-cell report assembly."""
+        scope, params = self._scope(spec_digest)
         rows = []
         for row in self._connection.execute(
-                "SELECT cell_id, spec_digest, cell, state, attempts, "
-                "worker, result_key, last_error FROM dist_queue "
-                "ORDER BY enqueued_at, cell_id"):
+                f"SELECT cell_id, spec_digest, cell, state, attempts, "
+                f"worker, result_key, last_error, cached, sim_runs, "
+                f"completed_at FROM dist_queue WHERE 1=1{scope} "
+                f"ORDER BY enqueued_at, cell_id", params):
             rows.append({"cell_id": row[0], "spec_digest": row[1],
                          "cell": _decode_cell(row[2]), "state": row[3],
                          "attempts": row[4], "worker": row[5],
-                         "result_key": row[6], "last_error": row[7]})
+                         "result_key": row[6], "last_error": row[7],
+                         "cached": bool(row[8]), "sim_runs": row[9],
+                         "completed_at": row[10]})
         return rows

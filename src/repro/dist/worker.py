@@ -134,7 +134,7 @@ class DistWorker:
                  lease_seconds=DEFAULT_LEASE_SECONDS, secret=None,
                  engine_workers=1, max_cells=None,
                  max_idle_seconds=DEFAULT_MAX_IDLE_SECONDS, chaos=None,
-                 cell_timeout=None):
+                 cell_timeout=None, events=None):
         self.queue = queue
         self.store = store
         self.worker_id = worker_id or default_worker_id()
@@ -145,6 +145,14 @@ class DistWorker:
         self.max_idle_seconds = max_idle_seconds
         self.chaos = chaos
         self.cell_timeout = cell_timeout
+        #: Optional ``callable(kind, **fields)`` observing this
+        #: worker's cell lifecycle (``cell_claimed`` /
+        #: ``cell_progress`` / ``cell_done`` / ``cell_superseded`` /
+        #: ``cell_rejected`` / ``cell_failed``) — the campaign
+        #: service's progress-stream and audit-trail hook.  Event
+        #: delivery must never sink a cell, so callback errors are
+        #: swallowed.
+        self.events = events
         self._sweep_runners = {}        # spec digest -> SweepRunner
         self.stats = {"done": 0, "superseded": 0, "failed": 0,
                       "rejected": 0}
@@ -155,6 +163,14 @@ class DistWorker:
         if self.chaos is None:
             return False
         return self.chaos.fire(point, **context)
+
+    def _emit(self, kind, **fields):
+        if self.events is None:
+            return
+        try:
+            self.events(kind, worker=self.worker_id, **fields)
+        except Exception:
+            pass
 
     def _sweep_runner(self, digest):
         if digest not in self._sweep_runners:
@@ -178,6 +194,9 @@ class DistWorker:
                        "renewed_at": time.monotonic()}
 
         def heartbeat(done, total):
+            self._emit("cell_progress", cell_id=lease.cell_id,
+                       spec_digest=lease.spec_digest, done=done,
+                       total=total)
             if not lease_state["held"]:
                 return
             elapsed = time.monotonic() - lease_state["renewed_at"]
@@ -281,6 +300,9 @@ class DistWorker:
                 continue
             last_progress = time.monotonic()
             self._fire("dist.cell", ordinal=ordinal, phase="claim")
+            self._emit("cell_claimed", cell_id=lease.cell_id,
+                       spec_digest=lease.spec_digest,
+                       attempt=lease.attempts)
             started = time.perf_counter()
             try:
                 outcome = self._execute(lease, ordinal)
@@ -294,6 +316,9 @@ class DistWorker:
                                    cell=lease.cell_id,
                                    worker=self.worker_id, state=state,
                                    error=f"{type(exc).__name__}: {exc}")
+                self._emit("cell_failed", cell_id=lease.cell_id,
+                           spec_digest=lease.spec_digest, state=state,
+                           error=f"{type(exc).__name__}: {exc}")
             else:
                 status = outcome["status"]
                 if status == "rejected":
@@ -309,6 +334,11 @@ class DistWorker:
                     self.stats["done"] += 1
                 registry.counter("dist.cells", status=status,
                                  worker=self.worker_id).inc()
+                self._emit(f"cell_{status}" if status != "committed"
+                           else "cell_done",
+                           cell_id=lease.cell_id,
+                           spec_digest=lease.spec_digest,
+                           key=outcome.get("key"))
             cell_seconds.observe(time.perf_counter() - started)
             ordinal += 1
         return dict(self.stats)

@@ -1,0 +1,110 @@
+"""Per-job progress event fan-out (the SSE feed's backing store).
+
+Worker threads publish cell-lifecycle events (claimed / progress /
+done / failed — the :class:`repro.dist.worker.DistWorker` ``events``
+hook, itself fed by the engine's :class:`repro.fi.sink.ProgressSink`
+chunk stream); HTTP subscribers consume them as an ordered stream.
+
+Ordering is the contract: every event gets a per-job sequence number
+under the broker lock, history append and subscriber hand-off happen
+under that same lock, and cross-thread delivery into each
+subscriber's :class:`asyncio.Queue` is scheduled while the lock is
+held — so two racing publisher threads cannot invert sequence order
+on any subscriber.  A late subscriber replays the retained history
+first (CI connecting after submission still sees the whole story).
+"""
+
+import asyncio
+import collections
+import threading
+import time
+
+from repro import obs
+
+#: Events retained per job for late subscribers.
+DEFAULT_HISTORY = 2048
+
+#: Queue sentinel telling a subscriber the broker shut down.
+CLOSED = object()
+
+
+class EventBroker:
+    """Thread-safe publish, asyncio subscribe, per-job ordering."""
+
+    def __init__(self, history=DEFAULT_HISTORY):
+        self._lock = threading.Lock()
+        self._history_size = history
+        self._history = {}        # job_id -> deque of event dicts
+        self._sequences = {}      # job_id -> last sequence number
+        self._subscribers = {}    # job_id -> set of asyncio.Queue
+        self._loop = None
+        self._closed = False
+
+    def bind(self, loop):
+        """Attach the asyncio loop subscriber queues live on (must be
+        called from that loop's thread before the first subscribe)."""
+        self._loop = loop
+
+    def publish(self, job_id, kind, **fields):
+        """Record one event and deliver it to every subscriber.
+
+        Safe from any thread.  Returns the event dict (with its
+        sequence number and timestamp stamped in).
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            sequence = self._sequences.get(job_id, 0) + 1
+            self._sequences[job_id] = sequence
+            event = {"seq": sequence, "event": kind, "job_id": job_id,
+                     "ts": time.time(), **fields}
+            history = self._history.get(job_id)
+            if history is None:
+                history = collections.deque(maxlen=self._history_size)
+                self._history[job_id] = history
+            history.append(event)
+            targets = list(self._subscribers.get(job_id, ()))
+            # Scheduling inside the lock preserves sequence order even
+            # across racing publisher threads.
+            if self._loop is not None:
+                for queue in targets:
+                    self._loop.call_soon_threadsafe(
+                        queue.put_nowait, event)
+        obs.metrics().counter("service.events", kind=kind).inc()
+        return event
+
+    def history(self, job_id):
+        """The retained events of one job, in order."""
+        with self._lock:
+            return list(self._history.get(job_id, ()))
+
+    def subscribe(self, job_id):
+        """A queue primed with the job's history, then fed live
+        events.  Call from the bound loop's thread."""
+        queue = asyncio.Queue()
+        with self._lock:
+            for event in self._history.get(job_id, ()):
+                queue.put_nowait(event)
+            self._subscribers.setdefault(job_id, set()).add(queue)
+            if self._closed:
+                queue.put_nowait(CLOSED)
+        return queue
+
+    def unsubscribe(self, job_id, queue):
+        with self._lock:
+            subscribers = self._subscribers.get(job_id)
+            if subscribers is not None:
+                subscribers.discard(queue)
+                if not subscribers:
+                    del self._subscribers[job_id]
+
+    def close(self):
+        """Tell every subscriber the stream is over (service stop)."""
+        with self._lock:
+            self._closed = True
+            if self._loop is None:
+                return
+            for subscribers in self._subscribers.values():
+                for queue in subscribers:
+                    self._loop.call_soon_threadsafe(
+                        queue.put_nowait, CLOSED)

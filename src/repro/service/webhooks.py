@@ -1,0 +1,140 @@
+"""HMAC-signed job-completion webhooks.
+
+Completion callbacks reuse the distribution layer's signing scheme
+(:func:`repro.dist.envelope.sign_payload` — HMAC-blake2b over the
+exact body bytes), so a receiver verifies a webhook with the same
+secret and the same primitive that authenticates result envelopes:
+one trust domain, one key-distribution story.  The signature rides in
+an ``X-Repro-Signature: blake2b=<hex>`` header over the canonical
+JSON body; receivers must compare with :func:`verify_webhook` (it
+uses :func:`hmac.compare_digest`).
+
+Delivery is best-effort, off the request path: a daemon thread polls
+the jobs table for pending webhooks whose queue scope has drained,
+posts once, and records ``delivered`` / ``failed`` in both the jobs
+table and the audit log.
+"""
+
+import hmac
+import json
+import threading
+
+from repro import obs
+from repro.dist.coordinator import status_payload
+from repro.dist.envelope import sign_payload
+from repro.dist.queue import WorkQueue
+
+SIGNATURE_HEADER = "X-Repro-Signature"
+
+_PREFIX = "blake2b="
+
+
+def sign_webhook(secret, body):
+    """The signature-header value for *body* bytes."""
+    return _PREFIX + sign_payload(secret, body)
+
+
+def verify_webhook(secret, body, signature_header):
+    """True when *signature_header* authenticates *body* under
+    *secret* (constant-time; wrong scheme or absent header never
+    verifies)."""
+    if not signature_header or \
+            not signature_header.startswith(_PREFIX):
+        return False
+    expected = sign_payload(secret, body)
+    return hmac.compare_digest(signature_header[len(_PREFIX):],
+                               expected)
+
+
+def _default_deliver(url, body, headers):
+    import urllib.request
+    request = urllib.request.Request(url, data=body, headers=headers,
+                                     method="POST")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status
+
+
+class WebhookNotifier:
+    """Daemon thread delivering completion webhooks.
+
+    Opens its own :class:`~repro.dist.queue.WorkQueue` connection
+    (SQLite connections are thread-bound); the jobs table, audit log
+    and broker are the service-shared, internally locked instances.
+    *deliver* is injectable for tests — ``(url, body_bytes, headers)
+    -> status_code``, raising on failure.
+    """
+
+    def __init__(self, queue_path, jobs, audit, broker, secret=None,
+                 deliver=None, poll_interval=0.5):
+        self.queue_path = queue_path
+        self.jobs = jobs
+        self.audit = audit
+        self.broker = broker
+        self.secret = secret
+        self.deliver = deliver or _default_deliver
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-webhooks", daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _run(self):
+        queue = WorkQueue(self.queue_path)
+        try:
+            while not self._stop.is_set():
+                try:
+                    self.deliver_due(queue)
+                except Exception as error:
+                    obs.logger().error("service.webhook_loop_error",
+                                       error=repr(error))
+                self._stop.wait(self.poll_interval)
+        finally:
+            queue.close()
+
+    def deliver_due(self, queue):
+        """One poll pass: fire every pending webhook whose job has
+        drained.  Returns the job ids delivered (or failed) — also
+        the synchronous entry point tests drive directly."""
+        settled = []
+        for job in self.jobs.pending_webhooks():
+            job_id = job["job_id"]
+            if not queue.drained(job_id):
+                continue
+            payload = {"event": "job_completed", "job_id": job_id,
+                       "name": job["name"], "kind": job["kind"],
+                       "submission": job["submissions"],
+                       "status": status_payload(queue, job_id)}
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
+            headers = {"Content-Type": "application/json",
+                       SIGNATURE_HEADER: sign_webhook(self.secret,
+                                                      body)}
+            try:
+                status = self.deliver(job["webhook_url"], body,
+                                      headers)
+            except Exception as error:
+                self.jobs.mark_webhook(job_id, "failed")
+                self.audit.append("webhook_failed", job_id=job_id,
+                                  url=job["webhook_url"],
+                                  error=repr(error))
+                obs.metrics().counter("service.webhooks",
+                                      outcome="failed").inc()
+            else:
+                self.jobs.mark_webhook(job_id, "delivered")
+                self.audit.append("webhook_delivered", job_id=job_id,
+                                  url=job["webhook_url"],
+                                  http_status=status)
+                obs.metrics().counter("service.webhooks",
+                                      outcome="delivered").inc()
+                self.broker.publish(job_id, "webhook_delivered",
+                                    url=job["webhook_url"])
+            settled.append(job_id)
+        return settled

@@ -1,0 +1,78 @@
+"""Auth middleware: hashed multi-key verification, no static default."""
+
+import pytest
+
+from repro.service.auth import (AuthConfigError, Authenticator,
+                                hash_key, key_id, keys_from_env)
+
+
+class TestConfiguration:
+    def test_keyless_non_dev_refuses_to_construct(self):
+        with pytest.raises(AuthConfigError):
+            Authenticator([])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(AuthConfigError):
+            Authenticator(["good", ""])
+
+    def test_dev_mode_is_an_explicit_opt_in(self):
+        auth = Authenticator([], dev=True)
+        assert auth.dev
+        assert auth.n_keys == 0
+
+    def test_keys_from_env(self):
+        environ = {"REPRO_SERVICE_KEYS": " alpha, beta ,,gamma "}
+        assert keys_from_env(environ) == ["alpha", "beta", "gamma"]
+        assert keys_from_env({}) == []
+
+    def test_no_plaintext_keys_retained(self):
+        auth = Authenticator(["super-secret"])
+        blob = repr(vars(auth))
+        assert "super-secret" not in blob
+
+
+class TestAuthenticate:
+    def test_missing_key_denied(self):
+        auth = Authenticator(["k1"])
+        assert auth.authenticate({}) is None
+
+    def test_wrong_key_denied(self):
+        auth = Authenticator(["k1"])
+        headers = {"authorization": "Bearer nope"}
+        assert auth.authenticate(headers) is None
+
+    def test_bearer_header_accepted(self):
+        auth = Authenticator(["k1"])
+        headers = {"authorization": "Bearer k1"}
+        assert auth.authenticate(headers) == key_id("k1")
+
+    def test_bearer_scheme_case_insensitive(self):
+        auth = Authenticator(["k1"])
+        assert auth.authenticate({"authorization": "bearer k1"})
+
+    def test_x_api_key_accepted(self):
+        auth = Authenticator(["k1"])
+        assert auth.authenticate({"x-api-key": "k1"}) == key_id("k1")
+
+    def test_multiple_keys_each_identify_their_caller(self):
+        auth = Authenticator(["ci-lane", "laptop", "teammate"])
+        assert auth.n_keys == 3
+        principals = {auth.authenticate({"x-api-key": key})
+                      for key in ("ci-lane", "laptop", "teammate")}
+        assert len(principals) == 3           # distinct audit actors
+        assert auth.authenticate({"x-api-key": "intruder"}) is None
+
+    def test_rotating_one_key_keeps_the_rest(self):
+        rotated = Authenticator(["laptop", "new-ci"])
+        assert rotated.authenticate({"x-api-key": "laptop"})
+        assert rotated.authenticate({"x-api-key": "old-ci"}) is None
+
+    def test_dev_mode_authenticates_everything(self):
+        auth = Authenticator([], dev=True)
+        assert auth.authenticate({}) == "dev"
+
+    def test_principal_is_hash_prefix_not_key(self):
+        auth = Authenticator(["k1"])
+        principal = auth.authenticate({"x-api-key": "k1"})
+        assert "k1" not in principal
+        assert principal == "key:" + hash_key("k1")[:12]

@@ -1,0 +1,102 @@
+"""Event broker ordering: the guarantee the SSE stream rides on."""
+
+import asyncio
+import threading
+
+from repro.service.events import CLOSED, EventBroker
+
+
+def drain(queue):
+    events = []
+    while not queue.empty():
+        events.append(queue.get_nowait())
+    return events
+
+
+class TestOrdering:
+    def test_sequences_are_per_job_and_monotonic(self):
+        broker = EventBroker()
+        for _ in range(3):
+            broker.publish("job-a", "tick")
+        broker.publish("job-b", "tick")
+        assert [e["seq"] for e in broker.history("job-a")] == [1, 2, 3]
+        assert [e["seq"] for e in broker.history("job-b")] == [1]
+
+    def test_concurrent_publishers_never_invert_order(self):
+        """Racing worker threads must yield a strictly increasing
+        sequence in the retained history — the property that makes
+        the SSE stream trustworthy."""
+        broker = EventBroker()
+        barrier = threading.Barrier(4)
+
+        def publisher(worker):
+            barrier.wait()
+            for n in range(200):
+                broker.publish("job", "tick", worker=worker, n=n)
+
+        threads = [threading.Thread(target=publisher, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        history = broker.history("job")
+        sequences = [event["seq"] for event in history]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences) == 800
+
+    def test_subscriber_sees_history_then_live_in_order(self):
+        loop = asyncio.new_event_loop()
+        try:
+            broker = EventBroker()
+            broker.bind(loop)
+            broker.publish("job", "early", n=1)
+            broker.publish("job", "early", n=2)
+            queue = loop.run_until_complete(
+                _subscribe(loop, broker))
+            broker.publish("job", "late", n=3)
+            loop.run_until_complete(asyncio.sleep(0.05))
+            events = drain(queue)
+            assert [e["seq"] for e in events] == [1, 2, 3]
+            assert [e["event"] for e in events] == ["early", "early",
+                                                   "late"]
+        finally:
+            loop.close()
+
+    def test_unsubscribe_stops_delivery(self):
+        loop = asyncio.new_event_loop()
+        try:
+            broker = EventBroker()
+            broker.bind(loop)
+            queue = loop.run_until_complete(_subscribe(loop, broker))
+            broker.unsubscribe("job", queue)
+            broker.publish("job", "tick")
+            loop.run_until_complete(asyncio.sleep(0.05))
+            assert drain(queue) == []
+        finally:
+            loop.close()
+
+    def test_close_delivers_sentinel(self):
+        loop = asyncio.new_event_loop()
+        try:
+            broker = EventBroker()
+            broker.bind(loop)
+            queue = loop.run_until_complete(_subscribe(loop, broker))
+            broker.close()
+            loop.run_until_complete(asyncio.sleep(0.05))
+            assert drain(queue) == [CLOSED]
+            assert broker.publish("job", "tick") is None
+        finally:
+            loop.close()
+
+    def test_history_bounded(self):
+        broker = EventBroker(history=10)
+        for n in range(25):
+            broker.publish("job", "tick", n=n)
+        history = broker.history("job")
+        assert len(history) == 10
+        assert history[-1]["seq"] == 25      # newest survives
+
+
+async def _subscribe(loop, broker):
+    return broker.subscribe("job")

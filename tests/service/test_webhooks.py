@@ -1,0 +1,156 @@
+"""Completion webhooks: envelope-grade signing, honest delivery state."""
+
+import json
+
+import pytest
+
+from repro.dist.envelope import sign_payload
+from repro.dist.queue import WorkQueue
+from repro.service.audit import AuditLog
+from repro.service.events import EventBroker
+from repro.service.jobs import JobsTable
+from repro.service.webhooks import (SIGNATURE_HEADER, WebhookNotifier,
+                                    sign_webhook, verify_webhook)
+from repro.store.spec import parse_spec
+
+
+class TestSignature:
+    def test_roundtrip(self):
+        body = b'{"event": "job_completed"}'
+        header = sign_webhook("secret-a", body)
+        assert verify_webhook("secret-a", body, header)
+
+    def test_signature_is_the_envelope_primitive(self):
+        """A receiver holding only repro.dist.envelope can verify:
+        the header is ``blake2b=`` + sign_payload over the body."""
+        body = b'{"x": 1}'
+        header = sign_webhook("secret-a", body)
+        assert header == "blake2b=" + sign_payload("secret-a", body)
+
+    def test_bad_secret_rejected(self):
+        body = b'{"event": "job_completed"}'
+        header = sign_webhook("secret-a", body)
+        assert not verify_webhook("secret-b", body, header)
+
+    def test_tampered_body_rejected(self):
+        header = sign_webhook("secret-a", b'{"n": 1}')
+        assert not verify_webhook("secret-a", b'{"n": 2}', header)
+
+    def test_missing_or_malformed_header_rejected(self):
+        assert not verify_webhook("secret-a", b"x", None)
+        assert not verify_webhook("secret-a", b"x", "")
+        assert not verify_webhook("secret-a", b"x", "sha256=abcd")
+
+
+@pytest.fixture
+def harness(tmp_path):
+    queue_path = str(tmp_path / "queue.sqlite")
+    queue = WorkQueue(queue_path)
+    jobs = JobsTable(queue_path)
+    audit = AuditLog(str(tmp_path / "store.sqlite"))
+    broker = EventBroker()
+    yield queue_path, queue, jobs, audit, broker
+    queue.close()
+    jobs.close()
+    audit.close()
+
+
+def enqueue_job(queue, jobs, webhook_url):
+    spec = parse_spec({"grid": {"kernels": ["bitcount"],
+                                "harden": ["none"]},
+                       "engine": {"max_runs": 5}}, name="hook")
+    inserted = queue.enqueue(spec)
+    job_id = queue.cells()[0]["spec_digest"]
+    jobs.record_submission(job_id, "hook", "sweep",
+                           webhook_url=webhook_url)
+    return job_id, inserted
+
+
+def drain_cell(queue):
+    lease = queue.claim("w0")
+    queue.complete(lease.token, result_key="k", sim_runs=5)
+
+
+class TestNotifier:
+    def test_fires_only_once_drained(self, harness):
+        queue_path, queue, jobs, audit, broker = harness
+        delivered = []
+
+        def deliver(url, body, headers):
+            delivered.append((url, body, headers))
+            return 200
+
+        notifier = WebhookNotifier(queue_path, jobs, audit, broker,
+                                   secret="hook-secret",
+                                   deliver=deliver)
+        job_id, _ = enqueue_job(queue, jobs, "http://cb.example/x")
+        assert notifier.deliver_due(queue) == []     # not drained yet
+        drain_cell(queue)
+        assert notifier.deliver_due(queue) == [job_id]
+        url, body, headers = delivered[0]
+        assert url == "http://cb.example/x"
+        payload = json.loads(body)
+        assert payload["event"] == "job_completed"
+        assert payload["job_id"] == job_id
+        assert payload["status"]["drained"] is True
+        assert verify_webhook("hook-secret", body,
+                              headers[SIGNATURE_HEADER])
+        assert jobs.get(job_id)["webhook_state"] == "delivered"
+        events = [e["event"] for e in audit.entries(job_id=job_id)]
+        assert "webhook_delivered" in events
+
+    def test_delivered_webhook_not_refired(self, harness):
+        queue_path, queue, jobs, audit, broker = harness
+        notifier = WebhookNotifier(queue_path, jobs, audit, broker,
+                                   deliver=lambda *a: 200)
+        job_id, _ = enqueue_job(queue, jobs, "http://cb.example/x")
+        drain_cell(queue)
+        assert notifier.deliver_due(queue) == [job_id]
+        assert notifier.deliver_due(queue) == []
+
+    def test_receiver_with_wrong_secret_rejects(self, harness):
+        queue_path, queue, jobs, audit, broker = harness
+        captured = {}
+
+        def deliver(url, body, headers):
+            captured["body"] = body
+            captured["header"] = headers[SIGNATURE_HEADER]
+            return 200
+
+        notifier = WebhookNotifier(queue_path, jobs, audit, broker,
+                                   secret="real-secret",
+                                   deliver=deliver)
+        _, _ = enqueue_job(queue, jobs, "http://cb.example/x")
+        drain_cell(queue)
+        notifier.deliver_due(queue)
+        assert verify_webhook("real-secret", captured["body"],
+                              captured["header"])
+        assert not verify_webhook("stolen-guess", captured["body"],
+                                  captured["header"])
+
+    def test_failed_delivery_audited(self, harness):
+        queue_path, queue, jobs, audit, broker = harness
+
+        def deliver(url, body, headers):
+            raise OSError("connection refused")
+
+        notifier = WebhookNotifier(queue_path, jobs, audit, broker,
+                                   deliver=deliver)
+        job_id, _ = enqueue_job(queue, jobs, "http://cb.example/x")
+        drain_cell(queue)
+        assert notifier.deliver_due(queue) == [job_id]
+        assert jobs.get(job_id)["webhook_state"] == "failed"
+        events = [e["event"] for e in audit.entries(job_id=job_id)]
+        assert "webhook_failed" in events
+
+    def test_resubmission_rearms_the_webhook(self, harness):
+        queue_path, queue, jobs, audit, broker = harness
+        notifier = WebhookNotifier(queue_path, jobs, audit, broker,
+                                   deliver=lambda *a: 200)
+        job_id, _ = enqueue_job(queue, jobs, "http://cb.example/x")
+        drain_cell(queue)
+        assert notifier.deliver_due(queue) == [job_id]
+        jobs.record_submission(job_id, "hook", "sweep",
+                               webhook_url="http://cb.example/x")
+        assert jobs.get(job_id)["webhook_state"] == "pending"
+        assert notifier.deliver_due(queue) == [job_id]

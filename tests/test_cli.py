@@ -467,6 +467,32 @@ class TestSweep:
         err = capsys.readouterr().err
         assert "[1/2]" in err and "[2/2]" in err
 
+    def test_progress_piped_stderr_has_no_carriage_returns(
+            self, spec_file, tmp_path, capsys):
+        """Under a pipe (CI logs, `2>sweep.log`) the \\r live-line
+        rewriting would concatenate every update into one garbled
+        line; the non-TTY fallback emits plain lines instead."""
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "\r" not in err
+        # Within-cell updates still arrive, one per line.
+        assert any(line.lstrip().startswith("...")
+                   for line in err.splitlines())
+
+    def test_progress_tty_keeps_the_live_line(self, spec_file,
+                                              tmp_path, capsys,
+                                              monkeypatch):
+        import sys as sys_module
+
+        monkeypatch.setattr(sys_module.stderr, "isatty",
+                            lambda: True, raising=False)
+        store = str(tmp_path / "store.sqlite")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--progress"]) == 0
+        assert "\r" in capsys.readouterr().err
+
     def test_bad_spec_fails_loudly(self, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text('{"grid": {"kernels": []}}')
